@@ -1,0 +1,130 @@
+// Command reexp reproduces every table and figure of the paper's evaluation
+// in one run. Each figure prints as a labeled table whose rows mirror the
+// paper's bars/series.
+//
+// Usage:
+//
+//	reexp [-width 480] [-height 272] [-frames 50] [-seed 1] [-figs all]
+//
+// -figs takes a comma-separated subset of:
+//
+//	1 2 t1 t2 14a 14b 15a 15b 16 17a 17b overhead hash otq memolut refresh binning subblock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rendelim/internal/exp"
+	"rendelim/internal/gpusim"
+	"rendelim/internal/stats"
+	"rendelim/internal/workload"
+)
+
+func main() {
+	width := flag.Int("width", 480, "screen width in pixels")
+	height := flag.Int("height", 272, "screen height in pixels")
+	frames := flag.Int("frames", 50, "frames per benchmark")
+	seed := flag.Int64("seed", 1, "workload seed")
+	figs := flag.String("figs", "all", "comma-separated figure list or 'all'")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	flag.Parse()
+
+	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Seed: *seed}
+	r := exp.NewRunner(p)
+
+	type figure struct {
+		id    string
+		table func() *stats.Table
+		text  func() string
+	}
+	all := []figure{
+		{id: "t1", text: r.TableI},
+		{id: "t2", text: r.TableII},
+		{id: "1", table: r.Fig01},
+		{id: "2", table: r.Fig02},
+		{id: "14a", table: r.Fig14a},
+		{id: "14b", table: r.Fig14b},
+		{id: "15a", table: r.Fig15a},
+		{id: "15b", table: r.Fig15b},
+		{id: "16", table: r.Fig16},
+		{id: "17a", table: r.Fig17a},
+		{id: "17b", table: r.Fig17b},
+		{id: "overhead", table: r.Overhead},
+		{id: "hash", table: r.HashAblation},
+		{id: "otq", table: r.OTQueueAblation},
+		{id: "memolut", table: r.MemoLUTAblation},
+		{id: "refresh", table: r.RefreshAblation},
+		{id: "binning", table: r.BinningAblation},
+		{id: "subblock", table: r.SubblockTradeoff},
+	}
+
+	want := map[string]bool{}
+	if *figs != "all" {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+		for f := range want {
+			found := false
+			for _, fig := range all {
+				if fig.id == f {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "reexp: unknown figure %q\n", f)
+				os.Exit(2)
+			}
+		}
+	}
+	selected := func(id string) bool { return *figs == "all" || want[id] }
+
+	// Warm the shared runs in parallel when the main comparison figures are
+	// requested.
+	needMain := false
+	for _, id := range []string{"1", "2", "14a", "14b", "15a", "15b", "16", "17a", "17b", "overhead"} {
+		if selected(id) {
+			needMain = true
+		}
+	}
+	start := time.Now()
+	if needMain {
+		fmt.Fprintf(os.Stderr, "reexp: running suite at %dx%d, %d frames...\n", p.Width, p.Height, p.Frames)
+		r.Prefetch(exp.SuiteAliases(), []gpusim.Technique{gpusim.Baseline, gpusim.RE, gpusim.TE, gpusim.Memo})
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "reexp:", err)
+			os.Exit(1)
+		}
+	}
+	for _, fig := range all {
+		if !selected(fig.id) {
+			continue
+		}
+		if fig.text != nil {
+			fmt.Println(fig.text())
+			continue
+		}
+		t := fig.table()
+		t.Fprint(os.Stdout, 3)
+		if *csvDir != "" {
+			f, err := os.Create(fmt.Sprintf("%s/fig%s.csv", *csvDir, fig.id))
+			if err == nil {
+				err = t.WriteCSV(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reexp:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "reexp: done in %s\n", time.Since(start).Round(time.Millisecond))
+}

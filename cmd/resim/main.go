@@ -1,0 +1,163 @@
+// Command resim replays one recorded trace on the simulated GPU under a
+// chosen technique and prints the run's headline statistics — the
+// single-workload counterpart of reexp.
+//
+// Usage:
+//
+//	resim -trace traces/ccs.rdlm [-tech base|re|te|memo] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rendelim/internal/api"
+	"rendelim/internal/energy"
+	"rendelim/internal/fb"
+	"rendelim/internal/gpusim"
+	"rendelim/internal/trace"
+)
+
+func main() {
+	path := flag.String("trace", "", "trace file (required)")
+	tech := flag.String("tech", "re", "technique: base, re, te, memo")
+	refresh := flag.Int("refresh", 0, "RE periodic refresh interval (0 = off)")
+	verbose := flag.Bool("v", false, "print per-frame statistics")
+	heatmap := flag.String("heatmap", "", "write a PGM skip heat-map to this file (RE only)")
+	dump := flag.String("dump", "", "write rendered frames as PNGs into this directory")
+	flag.Parse()
+
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resim:", err)
+		os.Exit(1)
+	}
+	tr, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resim:", err)
+		os.Exit(1)
+	}
+
+	cfg := gpusim.DefaultConfig()
+	cfg.RefreshInterval = *refresh
+	switch *tech {
+	case "base":
+		cfg.Technique = gpusim.Baseline
+	case "re":
+		cfg.Technique = gpusim.RE
+	case "te":
+		cfg.Technique = gpusim.TE
+	case "memo":
+		cfg.Technique = gpusim.Memo
+	default:
+		fmt.Fprintf(os.Stderr, "resim: unknown technique %q\n", *tech)
+		os.Exit(2)
+	}
+
+	sim, err := gpusim.New(tr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resim:", err)
+		os.Exit(1)
+	}
+	if *dump != "" {
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "resim:", err)
+			os.Exit(1)
+		}
+	}
+	res := gpusim.Result{Technique: cfg.Technique, Name: tr.Name}
+	for i := range tr.Frames {
+		fs := sim.RunFrame(&tr.Frames[i])
+		res.Frames = append(res.Frames, fs)
+		res.Total.Add(fs)
+		if *dump != "" {
+			if err := dumpFrame(*dump, i, sim, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "resim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *verbose {
+		for i, fs := range res.Frames {
+			fmt.Printf("frame %3d: cycles=%d (geom %d, raster %d) skipped=%d/%d frags=%d\n",
+				i, fs.TotalCycles(), fs.GeometryCycles, fs.RasterCycles,
+				fs.TilesSkipped, fs.TilesTotal, fs.FragsShaded)
+		}
+	}
+
+	t := res.Total
+	em := energy.Default()
+	eb := em.Compute(t.Activity)
+	fmt.Printf("trace      %s (%dx%d, %d frames)\n", tr.Name, tr.Width, tr.Height, len(tr.Frames))
+	fmt.Printf("technique  %s\n", cfg.Technique)
+	fmt.Printf("cycles     %d (geometry %d, raster %d)\n", t.TotalCycles(), t.GeometryCycles, t.RasterCycles)
+	fmt.Printf("time       %.3f ms @ 400 MHz\n", float64(t.TotalCycles())/400e3)
+	fmt.Printf("tiles      %d total, %d skipped (%.1f%%)\n", t.TilesTotal, t.TilesSkipped, t.SkipFraction()*100)
+	fmt.Printf("fragments  %d shaded, %d memo-reused, %d early-Z killed\n",
+		t.FragsShaded, t.FragsMemoReused, t.FragsEarlyZKill)
+	fmt.Printf("flushes    %d done, %d skipped\n", t.FlushesDone, t.FlushesSkipped)
+	fmt.Printf("DRAM       %d bytes (colors %d, texels %d, primitives %d)\n",
+		t.TotalTraffic(), t.Traffic[gpusim.TrafficColor],
+		t.Traffic[gpusim.TrafficTexel], t.Traffic[gpusim.TrafficPBRead])
+	fmt.Printf("energy     %.3f mJ (GPU %.3f, memory %.3f)\n",
+		eb.Total()*1e3, eb.GPU()*1e3, eb.Memory()*1e3)
+	fmt.Printf("avg power  %.1f mW\n", em.AvgPowerWatts(t.Activity)*1e3)
+
+	if *heatmap != "" {
+		if err := writeHeatmap(*heatmap, sim, len(tr.Frames)); err != nil {
+			fmt.Fprintln(os.Stderr, "resim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("heatmap    %s (bright = often skipped)\n", *heatmap)
+	}
+}
+
+// dumpFrame writes the just-displayed frame as PNG.
+func dumpFrame(dir string, idx int, sim *gpusim.Simulator, tr *api.Trace) error {
+	f, err := os.Create(fmt.Sprintf("%s/frame%03d.png", dir, idx))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fb.WritePNG(f, sim.FrameBufferSnapshot(), tr.Width, tr.Height)
+}
+
+// writeHeatmap renders the per-tile skip counts as a plain PGM image, one
+// pixel per tile, brightness = skip frequency.
+func writeHeatmap(path string, sim *gpusim.Simulator, frames int) error {
+	counts := sim.SkipCounts()
+	tx := sim.TilesX()
+	ty := (len(counts) + tx - 1) / tx
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "P2\n%d %d\n255\n", tx, ty); err != nil {
+		return err
+	}
+	for y := 0; y < ty; y++ {
+		for x := 0; x < tx; x++ {
+			v := 0
+			if i := y*tx + x; i < len(counts) && frames > 0 {
+				v = int(counts[i]) * 255 / frames
+				if v > 255 {
+					v = 255
+				}
+			}
+			if _, err := fmt.Fprintf(f, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rendelim/internal/gpusim"
+	"rendelim/internal/workload"
+)
+
+func TestWriteHeatmap(t *testing.T) {
+	p := workload.Params{Width: 96, Height: 64, Frames: 5, Seed: 1}
+	b, err := workload.ByAlias("ccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Build(p)
+	cfg := gpusim.DefaultConfig()
+	cfg.Technique = gpusim.RE
+	sim, err := gpusim.New(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	path := filepath.Join(t.TempDir(), "heat.pgm")
+	if err := writeHeatmap(path, sim, len(tr.Frames)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "P2\n6 4\n255\n") {
+		t.Fatalf("bad PGM header: %q", s[:20])
+	}
+	// ccs skips most tiles after warm-up, so some non-zero values exist.
+	if !strings.ContainsAny(strings.TrimPrefix(s, "P2\n6 4\n255\n"), "123456789") {
+		t.Fatal("heatmap all zero on a redundant workload")
+	}
+}

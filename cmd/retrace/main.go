@@ -1,0 +1,86 @@
+// Command retrace synthesizes benchmark command-stream traces and writes
+// them in the rendelim binary trace format, the equivalent of Teapot's
+// OpenGL ES trace generator for this reproduction.
+//
+// Usage:
+//
+//	retrace -out traces/ [-bench all] [-width 480] [-height 272] [-frames 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rendelim/internal/api"
+	"rendelim/internal/trace"
+	"rendelim/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "traces", "output directory")
+	bench := flag.String("bench", "all", "benchmark alias, comma list, or 'all'")
+	width := flag.Int("width", 480, "screen width")
+	height := flag.Int("height", 272, "screen height")
+	frames := flag.Int("frames", 50, "frame count")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Seed: *seed}
+
+	var benches []workload.Benchmark
+	if *bench == "all" {
+		benches = append(workload.Suite(), workload.Extras()...)
+	} else {
+		for _, alias := range strings.Split(*bench, ",") {
+			b, err := workload.ByAlias(strings.TrimSpace(alias))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "retrace:", err)
+				os.Exit(2)
+			}
+			benches = append(benches, b)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "retrace:", err)
+		os.Exit(1)
+	}
+	for _, b := range benches {
+		tr := b.Build(p)
+		path := filepath.Join(*out, b.Alias+".rdlm")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retrace:", err)
+			os.Exit(1)
+		}
+		if err := trace.Encode(f, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "retrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "retrace:", err)
+			os.Exit(1)
+		}
+		info, _ := os.Stat(path)
+		fmt.Printf("retrace: %-22s %d frames, %d draws/frame avg, %d bytes\n",
+			path, len(tr.Frames), drawsPerFrame(tr), info.Size())
+	}
+}
+
+func drawsPerFrame(tr *api.Trace) int {
+	if len(tr.Frames) == 0 {
+		return 0
+	}
+	draws := 0
+	for _, f := range tr.Frames {
+		for _, cmd := range f.Commands {
+			if _, ok := cmd.(api.Draw); ok {
+				draws++
+			}
+		}
+	}
+	return draws / len(tr.Frames)
+}

@@ -1,0 +1,116 @@
+// Fpsgame: a continuously moving 3D camera (the mst-class worst case for
+// Rendering Elimination) built against the public API. Demonstrates the
+// paper's overhead claim: with no redundant tiles, RE costs well under 1%,
+// and Transaction Elimination saves nothing either.
+//
+//	go run ./examples/fpsgame
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rendelim"
+)
+
+const (
+	width  = 320
+	height = 192
+	frames = 16
+)
+
+func boxVerts(data []rendelim.Vec4, cx, cy, cz, ex, ey, ez float32) []rendelim.Vec4 {
+	// Two visible faces are enough for the demo: front (+z) and top (+y).
+	n1 := rendelim.V4(0, 0, 1, 0)
+	quad := func(data []rendelim.Vec4, a, b, c, d rendelim.Vec4, n rendelim.Vec4) []rendelim.Vec4 {
+		uv0, uv1, uv2, uv3 := rendelim.V4(0, 0, 0, 0), rendelim.V4(1, 0, 0, 0), rendelim.V4(1, 1, 0, 0), rendelim.V4(0, 1, 0, 0)
+		data = append(data, a, n, uv0, b, n, uv1, c, n, uv2)
+		return append(data, a, n, uv0, c, n, uv2, d, n, uv3)
+	}
+	data = quad(data,
+		rendelim.V4(cx-ex, cy-ey, cz+ez, 1), rendelim.V4(cx+ex, cy-ey, cz+ez, 1),
+		rendelim.V4(cx+ex, cy+ey, cz+ez, 1), rendelim.V4(cx-ex, cy+ey, cz+ez, 1), n1)
+	n2 := rendelim.V4(0, 1, 0, 0)
+	data = quad(data,
+		rendelim.V4(cx-ex, cy+ey, cz+ez, 1), rendelim.V4(cx+ex, cy+ey, cz+ez, 1),
+		rendelim.V4(cx+ex, cy+ey, cz-ez, 1), rendelim.V4(cx-ex, cy+ey, cz-ez, 1), n2)
+	return data
+}
+
+func buildTrace() *rendelim.Trace {
+	tr := &rendelim.Trace{
+		Name:       "fpsgame",
+		Width:      width,
+		Height:     height,
+		ClearColor: rendelim.V4(0.1, 0.1, 0.15, 1),
+		Programs:   rendelim.StandardPrograms(),
+		Textures: []rendelim.TextureSpec{
+			{Kind: rendelim.TexNoise, W: 256, H: 256, Cell: 8, Seed: 3,
+				A: rendelim.V4(0.5, 0.45, 0.4, 1), Amp: 0.2},
+		},
+	}
+
+	for f := 0; f < frames; f++ {
+		t := float64(f)
+		eye := rendelim.V3(5*float32(math.Cos(t/10)), 2, 5*float32(math.Sin(t/10)))
+		view := rendelim.LookAt(eye, rendelim.V3(0, 1, 0), rendelim.V3(0, 1, 0))
+		proj := rendelim.Perspective(1.1, float32(width)/float32(height), 0.5, 100)
+		mvp := proj.Mul(view)
+
+		var cmds []rendelim.Command
+		cmds = append(cmds, rendelim.MVPUniforms(mvp))
+		cmds = append(cmds,
+			rendelim.SetUniforms{First: 4, Values: []rendelim.Vec4{rendelim.V4(1, 1, 1, 1)}},
+			rendelim.SetUniforms{First: 5, Values: []rendelim.Vec4{rendelim.V4(0.3, 0.9, 0.3, 0.3)}},
+		)
+		cmds = append(cmds, rendelim.SetPipeline{
+			VS: rendelim.ProgTransformVS, FS: rendelim.ProgLambertFS,
+			DepthTest: true, DepthWrite: true,
+		})
+		var data []rendelim.Vec4
+		// Floor slab plus a ring of crates.
+		data = boxVerts(data, 0, -0.5, 0, 10, 0.5, 10)
+		for i := 0; i < 6; i++ {
+			a := float64(i) / 6 * 2 * math.Pi
+			data = boxVerts(data, 3*float32(math.Cos(a)), 0.5, 3*float32(math.Sin(a)), 0.5, 0.5, 0.5)
+		}
+		cmds = append(cmds, rendelim.Draw{NumAttrs: 3, Data: data})
+		tr.Frames = append(tr.Frames, rendelim.Frame{Commands: cmds})
+	}
+	return tr
+}
+
+func main() {
+	tr := buildTrace()
+	if err := tr.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	results := map[string]rendelim.Result{}
+	for _, tech := range []rendelim.Technique{rendelim.Baseline, rendelim.RE, rendelim.TE} {
+		res, err := rendelim.Run(tr, rendelim.WithTechnique(tech))
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[tech.String()] = res
+	}
+
+	base := float64(results["base"].Total.TotalCycles())
+	fmt.Printf("continuously moving camera: %d frames\n", frames)
+	fmt.Printf("tiles skipped by RE: %d of %d (%.2f%%) — only the sky/empty\n",
+		results["re"].Total.TilesSkipped, results["re"].Total.TilesTotal,
+		results["re"].Total.SkipFraction()*100)
+	fmt.Println("tiles; every tile the moving geometry touches re-renders, because")
+	fmt.Println("the camera matrix is part of each drawcall's signed constants.")
+	for _, tech := range []string{"base", "re", "te"} {
+		r := results[tech]
+		fmt.Printf("%-5s cycles=%12d (%.4fx baseline)  energy=%.3f mJ\n",
+			tech, r.Total.TotalCycles(),
+			float64(r.Total.TotalCycles())/base,
+			rendelim.ComputeEnergy(r).Total()*1e3)
+	}
+	// On the covered tiles RE is pure overhead; bound it by comparing the
+	// cycles spent on *rendered* tiles only.
+	fmt.Printf("fragments shaded: base=%d re=%d (identical: no fragment is skipped)\n",
+		results["base"].Total.FragsShaded, results["re"].Total.FragsShaded)
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a benchmark trace, run it on the baseline GPU and under
+// Rendering Elimination, and compare cycles, energy and traffic.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rendelim"
+)
+
+func main() {
+	params := rendelim.DefaultParams()
+	params.Frames = 30 // keep the example quick
+
+	trace, err := rendelim.Build("ccs", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := rendelim.Run(trace, rendelim.WithTechnique(rendelim.Baseline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	re, err := rendelim.Run(trace, rendelim.WithTechnique(rendelim.RE))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseE := rendelim.ComputeEnergy(base)
+	reE := rendelim.ComputeEnergy(re)
+
+	fmt.Printf("workload          %s (%dx%d, %d frames)\n",
+		trace.Name, trace.Width, trace.Height, len(trace.Frames))
+	fmt.Printf("baseline cycles   %d\n", base.Total.TotalCycles())
+	fmt.Printf("RE cycles         %d\n", re.Total.TotalCycles())
+	fmt.Printf("speedup           %.2fx\n",
+		float64(base.Total.TotalCycles())/float64(re.Total.TotalCycles()))
+	fmt.Printf("tiles skipped     %.1f%% of %d\n",
+		re.Total.SkipFraction()*100, re.Total.TilesTotal)
+	fmt.Printf("fragments shaded  %d -> %d\n", base.Total.FragsShaded, re.Total.FragsShaded)
+	fmt.Printf("DRAM traffic      %.2f MB -> %.2f MB\n",
+		float64(base.Total.TotalTraffic())/1e6, float64(re.Total.TotalTraffic())/1e6)
+	fmt.Printf("energy            %.2f mJ -> %.2f mJ (-%.0f%%)\n",
+		baseE.Total()*1e3, reE.Total()*1e3, (1-reE.Total()/baseE.Total())*100)
+}

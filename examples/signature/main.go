@@ -1,0 +1,85 @@
+// Signature-unit walkthrough: drive the Rendering Elimination controller
+// directly with a synthetic command stream — no GPU simulation — to watch
+// incremental CRC32 tile signatures detect a moved sprite. This is the
+// paper's Figure 6 example made executable.
+//
+//	go run ./examples/signature
+package main
+
+import (
+	"fmt"
+
+	"rendelim/internal/core"
+	"rendelim/internal/sig"
+)
+
+func main() {
+	// A 4-tile screen, as in Figure 6.
+	ctl := core.New(core.Config{Sig: sig.DefaultConfig()}, 4)
+
+	constantsF := []byte("drawcall-F-constants")
+	constantsS := []byte("drawcall-S-constants")
+	primC := []byte("primitive-C-attributes-48-bytes-of-vertex-data!!")
+	primA := []byte("primitive-A-attributes-48-bytes-of-vertex-data!!")
+	primB := []byte("primitive-B-attributes-48-bytes-of-vertex-data!!")
+
+	frame := func(primAMoved bool) {
+		ctl.BeginFrame()
+		// Drawcall F: primitive C overlaps tiles 0 and 2.
+		ctl.OnConstants(constantsF)
+		ctl.OnPrimitive(primC, []int{0, 2}, 40)
+		// Drawcall S: primitives A and B overlap tiles 1 and 3; A also
+		// overlaps tile 2 (Figure 6's layout).
+		ctl.OnConstants(constantsS)
+		a := primA
+		if primAMoved {
+			a = []byte("primitive-A-attributes-MOVED-vertex-data-here!!!")
+		}
+		ctl.OnPrimitive(a, []int{1, 3, 2}, 40)
+		ctl.OnPrimitive(primB, []int{1, 3}, 40)
+	}
+
+	report := func(label string) {
+		fmt.Printf("%-28s", label)
+		for tile := 0; tile < 4; tile++ {
+			sigv := ctl.Unit().Buffer().Load(tile)
+			match, valid := ctl.BaselineMatch(tile)
+			state := "render (no baseline)"
+			if valid && match {
+				state = "SKIP"
+			} else if valid {
+				state = "render"
+			}
+			fmt.Printf("  tile%d=%08x %-7s", tile, sigv, state)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Frame 0 and 1: warm-up (double-buffered, compare two frames back)")
+	frame(false)
+	report("frame 0")
+	ctl.EndFrame()
+	frame(false)
+	report("frame 1")
+	ctl.EndFrame()
+
+	fmt.Println("\nFrame 2: identical inputs -> every tile redundant")
+	frame(false)
+	report("frame 2")
+	ctl.EndFrame()
+
+	fmt.Println("\nFrame 3: primitive A moved -> only its tiles (1, 2, 3) re-render")
+	frame(true)
+	report("frame 3")
+	ctl.EndFrame()
+
+	ctl.Unit().SyncStats()
+	st := ctl.Unit().Stats
+	fmt.Printf("\nSignature Unit activity: %d primitive blocks, %d constants blocks,\n",
+		st.PrimBlocks, st.ConstBlocks)
+	fmt.Printf("%d tile updates, %d CRC-LUT reads, %d cycles busy, %d stall cycles\n",
+		st.TileUpdates, st.Compute.LUTAccesses+st.Accumulate.LUTAccesses,
+		st.BusyCycles, st.StallCycles)
+	fmt.Printf("Signature Buffer: %d bytes of on-chip SRAM for %d tiles\n",
+		ctl.Unit().Buffer().SizeBytes(), ctl.Unit().Buffer().NumTiles())
+}

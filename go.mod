@@ -1,0 +1,3 @@
+module rendelim
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package energy is the McPAT/CACTI-style power model of the evaluation
+// (Section IV-A): per-event dynamic energies for the processors, caches,
+// SRAMs and the Rendering Elimination structures (Signature Buffer, CRC
+// LUTs, OT queue, bitmap), per-burst and per-activation DRAM energies, and
+// static power integrated over execution time. All dynamic values are in
+// picojoules; results are reported in joules split between "GPU" and "main
+// memory", matching Figure 14b's two bars.
+package energy
+
+// Params holds per-event energies (pJ) and static power (W).
+type Params struct {
+	// Programmable stages.
+	ShaderInstr float64 // per executed VS/FS instruction
+
+	// Caches and on-chip SRAM, per access.
+	VertexCache  float64
+	TextureCache float64
+	TileCache    float64
+	L2Cache      float64
+	ColorBuffer  float64
+	DepthBuffer  float64
+
+	// Fixed-function per-item costs.
+	VertexFetch float64 // per vertex assembled
+	PrimSetup   float64 // per triangle through setup/assembly
+	QuadTest    float64 // per quad through rasterizer+early-Z logic
+	BlendOp     float64 // per blended fragment
+
+	// Rendering Elimination structures (Section V: <0.5% energy overhead).
+	SigBufferAccess float64 // per Signature Buffer read/write
+	CRCLUTAccess    float64 // per 1KB LUT read
+	BitmapAccess    float64 // per bitmap read/write
+	OTQueueAccess   float64 // per OT queue push/pop pair
+
+	// DRAM (LPDDR3).
+	DRAMPerByte  float64 // per byte moved on a channel
+	DRAMActivate float64 // per row activation
+	DRAMQueueOp  float64 // controller overhead per request
+
+	// Static power in watts.
+	StaticGPU  float64
+	StaticDRAM float64
+
+	FreqHz float64
+}
+
+// Default returns the calibrated 32 nm / 400 MHz parameter set. Absolute
+// values are in the range McPAT reports for small mobile designs; the
+// evaluation only uses normalized energies, so the ratios are what matter.
+func Default() Params {
+	return Params{
+		ShaderInstr:  10,
+		VertexCache:  8,
+		TextureCache: 10,
+		TileCache:    18,
+		L2Cache:      28,
+		ColorBuffer:  4,
+		DepthBuffer:  4,
+
+		VertexFetch: 6,
+		PrimSetup:   12,
+		QuadTest:    5,
+		BlendOp:     6,
+
+		SigBufferAccess: 2.5,
+		CRCLUTAccess:    0.6,
+		BitmapAccess:    0.1,
+		OTQueueAccess:   0.4,
+
+		DRAMPerByte:  45,
+		DRAMActivate: 1800,
+		DRAMQueueOp:  90,
+
+		StaticGPU:  0.085,
+		StaticDRAM: 0.028,
+
+		FreqHz: 400e6,
+	}
+}
+
+// Activity aggregates the dynamic event counts of a simulation interval.
+// The GPU integrator fills it from the per-unit stats.
+type Activity struct {
+	VSInstructions uint64
+	FSInstructions uint64
+
+	VertexCacheAccesses  uint64
+	TextureCacheAccesses uint64
+	TileCacheAccesses    uint64
+	L2Accesses           uint64
+	ColorBufferAccesses  uint64
+	DepthBufferAccesses  uint64
+
+	VerticesFetched  uint64
+	TrianglesSetup   uint64
+	QuadsTested      uint64
+	FragmentsBlended uint64
+
+	SigBufferAccesses uint64
+	CRCLUTAccesses    uint64
+	BitmapAccesses    uint64
+	OTQueueAccesses   uint64
+
+	DRAMBytes       uint64
+	DRAMActivations uint64
+	DRAMRequests    uint64
+
+	Cycles uint64
+}
+
+// Add accumulates o into a.
+func (a *Activity) Add(o Activity) {
+	a.VSInstructions += o.VSInstructions
+	a.FSInstructions += o.FSInstructions
+	a.VertexCacheAccesses += o.VertexCacheAccesses
+	a.TextureCacheAccesses += o.TextureCacheAccesses
+	a.TileCacheAccesses += o.TileCacheAccesses
+	a.L2Accesses += o.L2Accesses
+	a.ColorBufferAccesses += o.ColorBufferAccesses
+	a.DepthBufferAccesses += o.DepthBufferAccesses
+	a.VerticesFetched += o.VerticesFetched
+	a.TrianglesSetup += o.TrianglesSetup
+	a.QuadsTested += o.QuadsTested
+	a.FragmentsBlended += o.FragmentsBlended
+	a.SigBufferAccesses += o.SigBufferAccesses
+	a.CRCLUTAccesses += o.CRCLUTAccesses
+	a.BitmapAccesses += o.BitmapAccesses
+	a.OTQueueAccesses += o.OTQueueAccesses
+	a.DRAMBytes += o.DRAMBytes
+	a.DRAMActivations += o.DRAMActivations
+	a.DRAMRequests += o.DRAMRequests
+	a.Cycles += o.Cycles
+}
+
+// Breakdown is an energy result in joules.
+type Breakdown struct {
+	GPUDynamic float64
+	GPUStatic  float64
+	MemDynamic float64
+	MemStatic  float64
+	REOverhead float64 // subset of GPUDynamic spent in RE structures
+}
+
+// GPU returns total GPU-side energy.
+func (b Breakdown) GPU() float64 { return b.GPUDynamic + b.GPUStatic }
+
+// Memory returns total main-memory energy.
+func (b Breakdown) Memory() float64 { return b.MemDynamic + b.MemStatic }
+
+// Total returns system (GPU + memory) energy.
+func (b Breakdown) Total() float64 { return b.GPU() + b.Memory() }
+
+const pJ = 1e-12
+
+// Compute evaluates the model over an activity interval.
+func (p Params) Compute(a Activity) Breakdown {
+	var b Breakdown
+	b.GPUDynamic = pJ * (float64(a.VSInstructions+a.FSInstructions)*p.ShaderInstr +
+		float64(a.VertexCacheAccesses)*p.VertexCache +
+		float64(a.TextureCacheAccesses)*p.TextureCache +
+		float64(a.TileCacheAccesses)*p.TileCache +
+		float64(a.L2Accesses)*p.L2Cache +
+		float64(a.ColorBufferAccesses)*p.ColorBuffer +
+		float64(a.DepthBufferAccesses)*p.DepthBuffer +
+		float64(a.VerticesFetched)*p.VertexFetch +
+		float64(a.TrianglesSetup)*p.PrimSetup +
+		float64(a.QuadsTested)*p.QuadTest +
+		float64(a.FragmentsBlended)*p.BlendOp)
+
+	b.REOverhead = pJ * (float64(a.SigBufferAccesses)*p.SigBufferAccess +
+		float64(a.CRCLUTAccesses)*p.CRCLUTAccess +
+		float64(a.BitmapAccesses)*p.BitmapAccess +
+		float64(a.OTQueueAccesses)*p.OTQueueAccess)
+	b.GPUDynamic += b.REOverhead
+
+	b.MemDynamic = pJ * (float64(a.DRAMBytes)*p.DRAMPerByte +
+		float64(a.DRAMActivations)*p.DRAMActivate +
+		float64(a.DRAMRequests)*p.DRAMQueueOp)
+
+	seconds := float64(a.Cycles) / p.FreqHz
+	b.GPUStatic = p.StaticGPU * seconds
+	b.MemStatic = p.StaticDRAM * seconds
+	return b
+}
+
+// AvgPowerWatts returns total energy divided by execution time — the
+// quantity Figure 1 plots per application.
+func (p Params) AvgPowerWatts(a Activity) float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(a.Cycles) / p.FreqHz
+	return p.Compute(a).Total() / seconds
+}

@@ -1,0 +1,102 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroActivityZeroEnergy(t *testing.T) {
+	b := Default().Compute(Activity{})
+	if b.Total() != 0 {
+		t.Fatalf("zero activity gives %v J", b.Total())
+	}
+}
+
+func TestStaticScalesWithCycles(t *testing.T) {
+	p := Default()
+	a := Activity{Cycles: uint64(p.FreqHz)} // one second
+	b := p.Compute(a)
+	if math.Abs(b.GPUStatic-p.StaticGPU) > 1e-12 {
+		t.Fatalf("static GPU = %v, want %v", b.GPUStatic, p.StaticGPU)
+	}
+	if math.Abs(b.MemStatic-p.StaticDRAM) > 1e-12 {
+		t.Fatalf("static mem = %v", b.MemStatic)
+	}
+}
+
+func TestDynamicLinearity(t *testing.T) {
+	p := Default()
+	a := Activity{
+		VSInstructions: 100, FSInstructions: 1000,
+		TextureCacheAccesses: 500, DRAMBytes: 4096, DRAMActivations: 3,
+		QuadsTested: 64, FragmentsBlended: 256, Cycles: 1000,
+	}
+	b1 := p.Compute(a)
+	double := a
+	double.Add(a)
+	b2 := p.Compute(double)
+	if math.Abs(b2.Total()-2*b1.Total()) > 1e-15 {
+		t.Fatalf("energy not linear: %v vs %v", b2.Total(), 2*b1.Total())
+	}
+}
+
+func TestREOverheadIsolated(t *testing.T) {
+	p := Default()
+	a := Activity{SigBufferAccesses: 1000, CRCLUTAccesses: 5000, BitmapAccesses: 100, OTQueueAccesses: 100}
+	b := p.Compute(a)
+	if b.REOverhead <= 0 {
+		t.Fatal("RE overhead missing")
+	}
+	if math.Abs(b.GPUDynamic-b.REOverhead) > 1e-18 {
+		t.Fatalf("RE-only activity should be entirely RE overhead: %v vs %v", b.GPUDynamic, b.REOverhead)
+	}
+	if b.MemDynamic != 0 {
+		t.Fatal("RE structures are on-chip, not DRAM")
+	}
+}
+
+func TestDRAMActivationAsymmetry(t *testing.T) {
+	p := Default()
+	hit := p.Compute(Activity{DRAMBytes: 64, DRAMRequests: 1})
+	miss := p.Compute(Activity{DRAMBytes: 64, DRAMRequests: 1, DRAMActivations: 1})
+	if miss.MemDynamic <= hit.MemDynamic {
+		t.Fatal("row activation should cost extra energy")
+	}
+}
+
+func TestAvgPower(t *testing.T) {
+	p := Default()
+	if p.AvgPowerWatts(Activity{}) != 0 {
+		t.Fatal("zero cycles should give zero power")
+	}
+	a := Activity{Cycles: uint64(p.FreqHz)} // 1 s, static only
+	want := p.StaticGPU + p.StaticDRAM
+	if got := p.AvgPowerWatts(a); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("avg power = %v, want %v", got, want)
+	}
+}
+
+func TestBreakdownAccessors(t *testing.T) {
+	b := Breakdown{GPUDynamic: 1, GPUStatic: 2, MemDynamic: 3, MemStatic: 4}
+	if b.GPU() != 3 || b.Memory() != 7 || b.Total() != 10 {
+		t.Fatalf("accessors wrong: %+v", b)
+	}
+}
+
+func TestActivityAddCoversAllFields(t *testing.T) {
+	a := Activity{
+		VSInstructions: 1, FSInstructions: 2, VertexCacheAccesses: 3,
+		TextureCacheAccesses: 4, TileCacheAccesses: 5, L2Accesses: 6,
+		ColorBufferAccesses: 7, DepthBufferAccesses: 8, VerticesFetched: 9,
+		TrianglesSetup: 10, QuadsTested: 11, FragmentsBlended: 12,
+		SigBufferAccesses: 13, CRCLUTAccesses: 14, BitmapAccesses: 15,
+		OTQueueAccesses: 16, DRAMBytes: 17, DRAMActivations: 18,
+		DRAMRequests: 19, Cycles: 20,
+	}
+	sum := a
+	sum.Add(a)
+	if sum.VSInstructions != 2 || sum.Cycles != 40 || sum.DRAMRequests != 38 ||
+		sum.OTQueueAccesses != 32 || sum.FragmentsBlended != 24 {
+		t.Fatalf("Add missed fields: %+v", sum)
+	}
+}

@@ -1,0 +1,124 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Section V) from simulation runs: the per-benchmark, per-technique runs
+// are cached and shared across figures, so a full reproduction costs one
+// Baseline + RE + TE + Memo run per benchmark. Each figure function returns
+// a stats.Table whose rows mirror the paper's bars/series.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rendelim/internal/gpusim"
+	"rendelim/internal/workload"
+)
+
+// Runner caches simulation results across figures.
+type Runner struct {
+	Params workload.Params
+
+	mu    sync.Mutex
+	cache map[string]gpusim.Result
+}
+
+// NewRunner builds a runner at the given workload scale.
+func NewRunner(p workload.Params) *Runner {
+	return &Runner{Params: p, cache: make(map[string]gpusim.Result)}
+}
+
+// trace resolves an alias to its builder (suite, extras, or the adversarial
+// hash-ablation workload).
+func (r *Runner) trace(alias string) (*workload.Benchmark, error) {
+	if alias == "adversarial" {
+		b := workload.Benchmark{Alias: alias, Name: "Hash Adversary", Build: workload.Adversarial}
+		return &b, nil
+	}
+	b, err := workload.ByAlias(alias)
+	if err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Config customizes a run beyond the technique (hash scheme, queue depth,
+// memo LUT size, refresh interval). Tag must uniquely identify the variant
+// for caching.
+type Config struct {
+	Tag    string
+	Mutate func(*gpusim.Config)
+}
+
+// Result returns the (cached) outcome of one benchmark under a technique.
+func (r *Runner) Result(alias string, tech gpusim.Technique) gpusim.Result {
+	return r.ResultCfg(alias, tech, Config{})
+}
+
+// ResultCfg returns the (cached) outcome of a customized run.
+func (r *Runner) ResultCfg(alias string, tech gpusim.Technique, variant Config) gpusim.Result {
+	key := fmt.Sprintf("%s/%s/%s", alias, tech, variant.Tag)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	b, err := r.trace(alias)
+	if err != nil {
+		panic(err) // experiment misconfiguration, not a runtime condition
+	}
+	tr := b.Build(r.Params)
+	cfg := gpusim.DefaultConfig()
+	cfg.Technique = tech
+	if variant.Mutate != nil {
+		variant.Mutate(&cfg)
+	}
+	sim, err := gpusim.New(tr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res := sim.Run()
+
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+// Prefetch computes the given (alias, technique) pairs in parallel, warming
+// the cache.
+func (r *Runner) Prefetch(aliases []string, techs []gpusim.Technique) {
+	type job struct {
+		alias string
+		tech  gpusim.Technique
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r.Result(j.alias, j.tech)
+			}
+		}()
+	}
+	for _, a := range aliases {
+		for _, t := range techs {
+			jobs <- job{a, t}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// SuiteAliases returns the Table II aliases in paper order.
+func SuiteAliases() []string {
+	var out []string
+	for _, b := range workload.Suite() {
+		out = append(out, b.Alias)
+	}
+	return out
+}

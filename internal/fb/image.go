@@ -1,0 +1,31 @@
+package fb
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// ToImage converts a packed-RGBA8 pixel buffer (as returned by
+// Simulator.FrameBufferSnapshot) into an image.Image.
+func ToImage(pix []uint32, w, h int) *image.NRGBA {
+	img := image.NewNRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := pix[y*w+x]
+			img.SetNRGBA(x, y, color.NRGBA{
+				R: uint8(p),
+				G: uint8(p >> 8),
+				B: uint8(p >> 16),
+				A: 0xFF, // frames are opaque once composed
+			})
+		}
+	}
+	return img
+}
+
+// WritePNG encodes a packed-RGBA8 frame as PNG.
+func WritePNG(w io.Writer, pix []uint32, width, height int) error {
+	return png.Encode(w, ToImage(pix, width, height))
+}

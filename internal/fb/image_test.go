@@ -1,0 +1,51 @@
+package fb
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestToImageChannels(t *testing.T) {
+	pix := []uint32{
+		0x000000FF, // red (R in low byte)
+		0x0000FF00, // green
+		0x00FF0000, // blue
+		0xFF102030,
+	}
+	img := ToImage(pix, 2, 2)
+	c := img.NRGBAAt(0, 0)
+	if c.R != 0xFF || c.G != 0 || c.B != 0 {
+		t.Fatalf("red pixel = %+v", c)
+	}
+	c = img.NRGBAAt(1, 0)
+	if c.G != 0xFF {
+		t.Fatalf("green pixel = %+v", c)
+	}
+	c = img.NRGBAAt(0, 1)
+	if c.B != 0xFF {
+		t.Fatalf("blue pixel = %+v", c)
+	}
+	c = img.NRGBAAt(1, 1)
+	if c.R != 0x30 || c.G != 0x20 || c.B != 0x10 || c.A != 0xFF {
+		t.Fatalf("mixed pixel = %+v", c)
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	pix := make([]uint32, 8*4)
+	for i := range pix {
+		pix[i] = uint32(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, pix, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 8 || img.Bounds().Dy() != 4 {
+		t.Fatalf("decoded bounds = %v", img.Bounds())
+	}
+}

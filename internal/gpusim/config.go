@@ -1,0 +1,152 @@
+// Package gpusim integrates every substrate into the full TBR GPU simulator
+// of Figure 4: it replays an api.Trace through the Geometry and Raster
+// pipelines, rendering real pixels while accounting cycles (internal/timing),
+// cache and DRAM traffic (internal/cache, internal/dram) and energy
+// (internal/energy), under one of four techniques — the Baseline GPU,
+// Rendering Elimination (the paper's contribution), Transaction Elimination,
+// and PFR-aided Fragment Memoization.
+package gpusim
+
+import (
+	"fmt"
+
+	"rendelim/internal/cache"
+	"rendelim/internal/dram"
+	"rendelim/internal/energy"
+	"rendelim/internal/sig"
+	"rendelim/internal/timing"
+)
+
+// Technique selects the redundancy-elimination scheme under evaluation.
+type Technique uint8
+
+// Techniques.
+const (
+	Baseline Technique = iota // conventional TBR GPU
+	RE                        // Rendering Elimination (this paper)
+	TE                        // Transaction Elimination (ARM) [16]
+	Memo                      // PFR-aided Fragment Memoization [17]
+)
+
+// String implements fmt.Stringer.
+func (t Technique) String() string {
+	switch t {
+	case Baseline:
+		return "base"
+	case RE:
+		return "re"
+	case TE:
+		return "te"
+	case Memo:
+		return "memo"
+	}
+	return fmt.Sprintf("technique(%d)", uint8(t))
+}
+
+// SkippedStages returns the Raster Pipeline stages the technique bypasses on
+// a redundant tile/fragment, encoding Figure 3.
+func (t Technique) SkippedStages() []string {
+	switch t {
+	case RE:
+		return []string{"tile-scheduler", "rasterizer", "early-depth", "fragment-processing", "blend", "tile-flush"}
+	case TE:
+		return []string{"tile-flush"}
+	case Memo:
+		return []string{"fragment-processing"}
+	}
+	return nil
+}
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Technique under test.
+	Technique Technique
+
+	// Timing and energy models.
+	Timing timing.Params
+	Energy energy.Params
+	DRAM   dram.Config
+
+	// Cache geometries (Table I).
+	VertexCache  cache.Config
+	TextureCache cache.Config // one of the four identical texture caches
+	TileCache    cache.Config
+	L2Cache      cache.Config
+
+	// Signature Unit configuration (used by RE and, for color signing, TE).
+	Sig sig.Config
+
+	// RefreshInterval forces a full render every n-th frame when > 0, the
+	// Frame Buffer refresh guarantee of Section III-E.
+	RefreshInterval int
+
+	// ExactBinning switches the Polygon List Builder from bounding-box to
+	// exact triangle-tile overlap tests; tighter bins mean fewer polluted
+	// signatures (fewer RE false negatives) at extra binning cost.
+	ExactBinning bool
+
+	// Fragment Memoization parameters (Section V-A: 2048-entry 4-way LUT,
+	// 32-bit hash discarding screen coordinates, 2 frames in parallel).
+	MemoLUTEntries int
+	MemoLUTWays    int
+
+	// EnableEqualInputDiffColorCheck controls the (expensive) invariant
+	// assertion that a signature match never pairs with a color change;
+	// only meaningful for Baseline runs, where everything renders.
+	TrackGroundTruth bool
+}
+
+// DefaultConfig returns the Table I configuration.
+func DefaultConfig() Config {
+	return Config{
+		Technique: Baseline,
+		Timing:    timing.Default(),
+		Energy:    energy.Default(),
+		DRAM:      dram.Default(),
+		VertexCache: cache.Config{
+			Name: "vertex", LineBytes: 64, Ways: 2, SizeBytes: 4 << 10, Banks: 1, Latency: 1,
+		},
+		TextureCache: cache.Config{
+			Name: "texture", LineBytes: 64, Ways: 2, SizeBytes: 8 << 10, Banks: 1, Latency: 1,
+		},
+		TileCache: cache.Config{
+			Name: "tile", LineBytes: 64, Ways: 8, SizeBytes: 128 << 10, Banks: 8, Latency: 1,
+		},
+		L2Cache: cache.Config{
+			Name: "l2", LineBytes: 64, Ways: 8, SizeBytes: 256 << 10, Banks: 8, Latency: 2,
+		},
+		Sig:              sig.DefaultConfig(),
+		RefreshInterval:  0,
+		MemoLUTEntries:   2048,
+		MemoLUTWays:      4,
+		TrackGroundTruth: true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	for _, cc := range []cache.Config{c.VertexCache, c.TextureCache, c.TileCache, c.L2Cache} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MemoLUTEntries <= 0 || c.MemoLUTWays <= 0 || c.MemoLUTEntries%c.MemoLUTWays != 0 {
+		return fmt.Errorf("gpusim: bad memo LUT geometry %d/%d", c.MemoLUTEntries, c.MemoLUTWays)
+	}
+	if c.RefreshInterval < 0 {
+		return fmt.Errorf("gpusim: negative refresh interval")
+	}
+	return nil
+}
+
+// Simulated address map: disjoint regions so traffic classes never alias.
+const (
+	addrVertexBase   = 0x0000_0000
+	addrVertexStride = 1 << 20 // per-drawcall vertex buffer region
+	addrParamBase    = 0x4000_0000
+	addrTexBase      = 0x8000_0000
+	addrFBBase       = 0xC000_0000
+)

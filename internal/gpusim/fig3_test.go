@@ -1,0 +1,36 @@
+package gpusim
+
+import "testing"
+
+// TestFig03SkippedStages encodes Figure 3: which Raster Pipeline stages each
+// technique bypasses on a redundant tile/fragment.
+func TestFig03SkippedStages(t *testing.T) {
+	re := map[string]bool{}
+	for _, s := range RE.SkippedStages() {
+		re[s] = true
+	}
+	// RE skips the whole Raster Pipeline.
+	for _, stage := range []string{
+		"tile-scheduler", "rasterizer", "early-depth",
+		"fragment-processing", "blend", "tile-flush",
+	} {
+		if !re[stage] {
+			t.Errorf("RE should skip %s", stage)
+		}
+	}
+	// TE skips only the flush; Memo only fragment processing.
+	if got := TE.SkippedStages(); len(got) != 1 || got[0] != "tile-flush" {
+		t.Errorf("TE skips %v, want only tile-flush", got)
+	}
+	if got := Memo.SkippedStages(); len(got) != 1 || got[0] != "fragment-processing" {
+		t.Errorf("Memo skips %v, want only fragment-processing", got)
+	}
+	// Every stage TE or Memo skips, RE skips too (RE subsumes both).
+	for _, other := range []Technique{TE, Memo} {
+		for _, s := range other.SkippedStages() {
+			if !re[s] {
+				t.Errorf("RE should subsume %s's skipped stage %s", other, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package gpusim
+
+import (
+	"testing"
+
+	"rendelim/internal/api"
+	"rendelim/internal/geom"
+	"rendelim/internal/shader"
+	"rendelim/internal/texture"
+)
+
+// buildQuadTrace renders one screen-filling quad per frame, either as an
+// indexed 4-vertex draw or a flat 6-vertex draw.
+func buildQuadTrace(indexed bool, frames int) *api.Trace {
+	const W, H = 64, 48
+	tr := &api.Trace{
+		Name: "quad", Width: W, Height: H,
+		Programs: []*shader.Program{shader.TransformVS(2), shader.TexturedFS()},
+		Textures: []api.TextureSpec{
+			{Kind: api.TexChecker, W: 16, H: 16, Cell: 4,
+				A: geom.V4(1, 0, 0, 1), B: geom.V4(0, 0, 1, 1), Filter: texture.Nearest},
+		},
+	}
+	ortho := geom.Ortho(0, W, 0, H, -1, 1)
+	c := geom.V4(1, 1, 1, 1)
+	v := func(x, y, u, vv float32) []geom.Vec4 {
+		return []geom.Vec4{geom.V4(x, y, 0, 1), c, geom.V4(u, vv, 0, 0)}
+	}
+	corners := [][]geom.Vec4{v(0, 0, 0, 0), v(W, 0, 1, 0), v(W, H, 1, 1), v(0, H, 0, 1)}
+	for f := 0; f < frames; f++ {
+		var d api.Draw
+		d.NumAttrs = 3
+		if indexed {
+			for _, vv := range corners {
+				d.Data = append(d.Data, vv...)
+			}
+			d.Indices = []uint16{0, 1, 2, 0, 2, 3}
+		} else {
+			for _, k := range []int{0, 1, 2, 0, 2, 3} {
+				d.Data = append(d.Data, corners[k]...)
+			}
+		}
+		tr.Frames = append(tr.Frames, api.Frame{Commands: []api.Command{
+			api.SetUniforms{First: 0, Values: []geom.Vec4{ortho.Row(0), ortho.Row(1), ortho.Row(2), ortho.Row(3)}},
+			api.SetUniforms{First: 4, Values: []geom.Vec4{c}},
+			api.SetPipeline{VS: 0, FS: 1},
+			d,
+		}})
+	}
+	return tr
+}
+
+func TestIndexedDrawMatchesFlatPixels(t *testing.T) {
+	flat := buildQuadTrace(false, 3)
+	idx := buildQuadTrace(true, 3)
+	simA, err := New(flat, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := New(idx, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := simA.Run()
+	rb := simB.Run()
+	fa := simA.FrameBufferSnapshot()
+	fb := simB.FrameBufferSnapshot()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("pixel %d differs between indexed and flat", i)
+		}
+	}
+	// Indexed submission shades 4 vertices per frame instead of 6.
+	if rb.Total.Vertices >= ra.Total.Vertices {
+		t.Fatalf("indexed vertices %d should be fewer than flat %d",
+			rb.Total.Vertices, ra.Total.Vertices)
+	}
+	if ra.Total.Triangles != rb.Total.Triangles {
+		t.Fatal("triangle counts must match")
+	}
+}
+
+// Indexed and flat submissions of identical geometry must produce identical
+// tile-input signatures, so RE treats them the same.
+func TestIndexedDrawSignsIdentically(t *testing.T) {
+	flatTr := buildQuadTrace(false, 1)
+	idxTr := buildQuadTrace(true, 1)
+	var flatD, idxD api.Draw
+	for _, cmd := range flatTr.Frames[0].Commands {
+		if d, ok := cmd.(api.Draw); ok {
+			flatD = d
+		}
+	}
+	for _, cmd := range idxTr.Frames[0].Commands {
+		if d, ok := cmd.(api.Draw); ok {
+			idxD = d
+		}
+	}
+	for tri := 0; tri < 2; tri++ {
+		a := api.AppendPrimitive(nil, flatD, tri)
+		b := api.AppendPrimitive(nil, idxD, tri)
+		if string(a) != string(b) {
+			t.Fatalf("triangle %d signs differently", tri)
+		}
+	}
+}
+
+func TestIndexedDrawValidation(t *testing.T) {
+	d := api.Draw{NumAttrs: 1, Data: make([]geom.Vec4, 4),
+		Indices: []uint16{0, 1, 2, 0, 2, 3}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.TriangleCount() != 2 || d.VertexCount() != 4 {
+		t.Fatalf("counts: %d tris %d verts", d.TriangleCount(), d.VertexCount())
+	}
+	bad := api.Draw{NumAttrs: 1, Data: make([]geom.Vec4, 3), Indices: []uint16{0, 1, 5}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	ragged := api.Draw{NumAttrs: 1, Data: make([]geom.Vec4, 3), Indices: []uint16{0, 1}}
+	if ragged.Validate() == nil {
+		t.Fatal("non-triangle index list accepted")
+	}
+}

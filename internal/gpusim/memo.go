@@ -1,0 +1,175 @@
+package gpusim
+
+import (
+	"encoding/binary"
+	"math"
+
+	"rendelim/internal/crc"
+	"rendelim/internal/geom"
+)
+
+// Fragment Memoization (Arnau et al. [17]) as configured in Section V-A: a
+// 32-bit hash of all fragment-shader inputs with screen coordinates
+// discarded, a 2048-entry 4-way LUT, on top of Parallel Frame Rendering.
+//
+// PFR renders two consecutive frames in parallel with tiles kept
+// synchronized, so frame 2k+1's tile T is shaded immediately after frame
+// 2k's tile T — the reuse distance is one tile, not one frame. memoState
+// models exactly that: per tile it keeps the hash→color pairs inserted
+// while shading the previous frame's same tile (capped at the LUT size).
+// Lookups hit (a) fragments already shaded in the current tile (intra-frame
+// repetition — the effect that makes hop favor memoization), and (b) on the
+// second frame of each pair only, the previous frame's same-tile entries;
+// first-of-pair frames cannot reuse across frames because their candidates
+// were evicted a whole frame ago (the PFR limitation Section I describes).
+
+// memoState is the PFR-synchronized memoization model.
+type memoState struct {
+	cap  int
+	prev []map[uint32]geom.Vec4 // per tile: entries from the previous frame
+	cur  map[uint32]geom.Vec4   // entries inserted in the current tile
+
+	Lookups uint64
+	Hits    uint64
+}
+
+func newMemoState(tiles, lutEntries int) *memoState {
+	return &memoState{cap: lutEntries, prev: make([]map[uint32]geom.Vec4, tiles)}
+}
+
+// beginTile starts shading a tile.
+func (m *memoState) beginTile() { m.cur = make(map[uint32]geom.Vec4, 64) }
+
+// endTile commits the tile's entries as the baseline for the next frame.
+func (m *memoState) endTile(tile int) {
+	m.prev[tile] = m.cur
+	m.cur = nil
+}
+
+// lookup returns a memoized color. crossFrame permits hits against the
+// previous frame's same tile (second frame of a PFR pair).
+func (m *memoState) lookup(tile int, h uint32, crossFrame bool) (geom.Vec4, bool) {
+	m.Lookups++
+	if c, ok := m.cur[h]; ok {
+		m.Hits++
+		return c, true
+	}
+	if crossFrame {
+		if c, ok := m.prev[tile][h]; ok {
+			m.Hits++
+			return c, true
+		}
+	}
+	return geom.Vec4{}, false
+}
+
+// insert memoizes a shaded color, respecting the LUT capacity.
+func (m *memoState) insert(h uint32, color geom.Vec4) {
+	if len(m.cur) >= m.cap {
+		return
+	}
+	m.cur[h] = color
+}
+
+// memoLUT is the plain global LUT (no PFR tile synchronization) used by the
+// ablation harness to show why [17] needs PFR: with whole-frame reuse
+// distances a 2048-entry LUT thrashes and inter-frame hits vanish.
+type memoLUT struct {
+	sets int
+	ways int
+	tag  []uint32
+	val  []geom.Vec4
+	ok   []bool
+	age  []uint32
+	tick uint32
+
+	Lookups uint64
+	Hits    uint64
+}
+
+func newMemoLUT(entries, ways int) *memoLUT {
+	sets := entries / ways
+	return &memoLUT{
+		sets: sets,
+		ways: ways,
+		tag:  make([]uint32, entries),
+		val:  make([]geom.Vec4, entries),
+		ok:   make([]bool, entries),
+		age:  make([]uint32, entries),
+	}
+}
+
+// lookup returns the memoized color for hash h, if present.
+func (m *memoLUT) lookup(h uint32) (geom.Vec4, bool) {
+	m.Lookups++
+	base := int(h) % m.sets * m.ways
+	for w := 0; w < m.ways; w++ {
+		if m.ok[base+w] && m.tag[base+w] == h {
+			m.tick++
+			m.age[base+w] = m.tick
+			m.Hits++
+			return m.val[base+w], true
+		}
+	}
+	return geom.Vec4{}, false
+}
+
+// insert memoizes a color under hash h with LRU replacement.
+func (m *memoLUT) insert(h uint32, color geom.Vec4) {
+	base := int(h) % m.sets * m.ways
+	victim := base
+	for w := 0; w < m.ways; w++ {
+		i := base + w
+		if m.ok[i] && m.tag[i] == h {
+			victim = i
+			break
+		}
+		if !m.ok[i] {
+			victim = i
+			break
+		}
+		if m.age[i] < m.age[victim] {
+			victim = i
+		}
+	}
+	m.tick++
+	m.tag[victim] = h
+	m.val[victim] = color
+	m.ok[victim] = true
+	m.age[victim] = m.tick
+}
+
+// fragmentHasher builds the 32-bit memoization key from the inputs the
+// fragment shader actually reads: the program, the textures it can sample,
+// the read uniform registers and the read varyings. Screen coordinates are
+// deliberately excluded (Section V-A).
+type fragmentHasher struct {
+	buf [8 + 32*16 + 3*16]byte
+}
+
+func (fh *fragmentHasher) hash(fsID uint8, texIDs [4]uint8, inMask uint16, constMask uint32,
+	uniforms []geom.Vec4, varyings *[3]geom.Vec4) uint32 {
+	b := fh.buf[:0]
+	b = append(b, fsID, texIDs[0], texIDs[1], texIDs[2], texIDs[3], 0, 0, 0)
+	for i, u := range uniforms {
+		if constMask&(1<<uint(i)) != 0 {
+			b = appendVec(b, u)
+		}
+	}
+	for i := range varyings {
+		// Varying v_{i+1} corresponds to rast.Fragment.Var[i].
+		if inMask&(1<<uint(i+1)) != 0 {
+			b = appendVec(b, varyings[i])
+		}
+	}
+	return crc.Checksum(b)
+}
+
+func appendVec(b []byte, v geom.Vec4) []byte {
+	var w [16]byte
+	binary.LittleEndian.PutUint32(w[0:], math.Float32bits(v.X))
+	binary.LittleEndian.PutUint32(w[4:], math.Float32bits(v.Y))
+	binary.LittleEndian.PutUint32(w[8:], math.Float32bits(v.Z))
+	binary.LittleEndian.PutUint32(w[12:], math.Float32bits(v.W))
+	return append(b, w[:]...)
+}

@@ -1,0 +1,657 @@
+package gpusim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rendelim/internal/api"
+	"rendelim/internal/cache"
+	"rendelim/internal/core"
+	"rendelim/internal/crc"
+	"rendelim/internal/dram"
+	"rendelim/internal/fb"
+	"rendelim/internal/geom"
+	"rendelim/internal/rast"
+	"rendelim/internal/shader"
+	"rendelim/internal/sig"
+	"rendelim/internal/texture"
+	"rendelim/internal/tiling"
+	"rendelim/internal/timing"
+)
+
+// drawRec snapshots the pipeline state a drawcall was issued under, so the
+// raster phase (which runs after the whole geometry phase) shades with the
+// right programs, textures and constants.
+type drawRec struct {
+	pipe     api.SetPipeline
+	uniforms [api.SignedUniforms]geom.Vec4
+	numAttrs int
+}
+
+// triRec is one binned screen-space triangle.
+type triRec struct {
+	st   rast.ScreenTri
+	draw int
+}
+
+// progMask caches a program's read sets.
+type progMask struct {
+	in     uint16
+	consts uint32
+}
+
+// dramPort routes all traffic into the DRAM model while attributing bytes
+// to the simulator's current traffic class.
+type dramPort struct{ s *Simulator }
+
+func (p dramPort) Read(addr uint64, size int) int {
+	p.s.frame.Traffic[p.s.curClass] += uint64(size)
+	return p.s.dram.Read(addr, size)
+}
+
+func (p dramPort) Write(addr uint64, size int) int {
+	p.s.frame.Traffic[p.s.curClass] += uint64(size)
+	return p.s.dram.Write(addr, size)
+}
+
+// Simulator replays a trace on the modeled GPU. Create one per (trace,
+// config) pair; it is not safe for concurrent use.
+type Simulator struct {
+	cfg   Config
+	trace *api.Trace
+
+	fbuf      *fb.FrameBuffer
+	state     *api.State
+	binner    *tiling.Binner
+	re        *core.Controller
+	teBuf     *sig.Buffer
+	teCRC     crc.ComputeUnit
+	memo      *memoState
+	dram      *dram.DRAM
+	vcache    *cache.Cache
+	tcache    [4]*cache.Cache
+	tilecache *cache.Cache
+	l2        *cache.Cache
+
+	programs []*shader.Program
+	// fsMasks[i] caches programs[i].ReadMasks() for the memo hash.
+	fsMasks  []progMask
+	textures []*texture.Texture
+
+	vsExec shader.Exec
+	fsExec shader.Exec
+
+	// Per-frame scratch, reused across frames.
+	frame         *Stats
+	curClass      TrafficClass
+	draws         []drawRec
+	tris          []triRec
+	pendingConsts []byte
+	primScratch   []byte
+	clipScratch   []rast.Triangle
+	shadedScratch []rast.Vertex
+	tb            fb.TileBuffer
+	teByteBuf     [fb.TileSize * fb.TileSize * 4]byte
+	texExtraLat   uint64 // texture-cache miss latency within the current tile
+	frameIdx      int
+	clearColor    uint32
+	fsSampler     tileSampler
+	fragHasher    fragmentHasher
+	skipCounts    []uint32
+	signedPipe    api.SetPipeline
+	pipeSigned    bool
+}
+
+// tileSampler adapts the texture store to the shader VM, charging every
+// texel to the per-unit texture caches.
+type tileSampler struct {
+	s   *Simulator
+	tex [api.MaxTexUnits]*texture.Texture
+}
+
+// Sample implements shader.Sampler.
+func (ts *tileSampler) Sample(unit int, u, v float32) geom.Vec4 {
+	t := ts.tex[unit]
+	if t == nil {
+		return geom.Vec4{}
+	}
+	s := ts.s
+	s.curClass = TrafficTexel
+	return t.Sample(u, v, func(addr uint64) {
+		c := s.tcache[unit%len(s.tcache)]
+		lat := c.Access(addr, 4, false)
+		if extra := lat - c.Config().Latency; extra > 0 {
+			s.texExtraLat += uint64(extra)
+		}
+	})
+}
+
+// New builds a simulator for the trace. The trace is validated; textures are
+// synthesized and placed in the simulated address map.
+func New(trace *api.Trace, cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, trace: trace}
+	s.dram = dram.New(cfg.DRAM)
+	port := dramPort{s}
+	s.l2 = cache.New(cfg.L2Cache, port)
+	s.vcache = cache.New(cfg.VertexCache, s.l2)
+	for i := range s.tcache {
+		tc := cfg.TextureCache
+		tc.Name = fmt.Sprintf("texture%d", i)
+		s.tcache[i] = cache.New(tc, s.l2)
+	}
+	s.tilecache = cache.New(cfg.TileCache, s.l2)
+
+	s.fbuf = fb.NewFrameBuffer(trace.Width, trace.Height, addrFBBase)
+	s.state = api.NewState()
+	s.binner = tiling.NewBinner(trace.Width, trace.Height, addrParamBase)
+	s.binner.SetExact(cfg.ExactBinning)
+	s.re = core.New(core.Config{Sig: cfg.Sig, RefreshInterval: cfg.RefreshInterval}, s.fbuf.NumTiles())
+	s.teBuf = sig.NewBuffer(s.fbuf.NumTiles())
+	s.memo = newMemoState(s.fbuf.NumTiles(), cfg.MemoLUTEntries)
+
+	s.programs = append([]*shader.Program(nil), trace.Programs...)
+	s.fsMasks = make([]progMask, len(s.programs))
+	for i, p := range s.programs {
+		in, consts := p.ReadMasks()
+		s.fsMasks[i] = progMask{in: in, consts: consts}
+	}
+	s.textures = make([]*texture.Texture, len(trace.Textures))
+	for i, spec := range trace.Textures {
+		s.textures[i] = spec.Build(i)
+		s.textures[i].Base = addrTexBase + uint64(i)<<24
+	}
+	s.clearColor = texture.PackColor(trace.ClearColor)
+	s.fsSampler.s = s
+	s.fsExec.Sampler = &s.fsSampler
+	s.skipCounts = make([]uint32, s.fbuf.NumTiles())
+	return s, nil
+}
+
+// SkipCounts returns how many times each tile was bypassed so far, indexed
+// by tile id — the data behind skip heat-maps (cmd/resim -heatmap).
+func (s *Simulator) SkipCounts() []uint32 {
+	out := make([]uint32, len(s.skipCounts))
+	copy(out, s.skipCounts)
+	return out
+}
+
+// TilesX returns the tile-grid width, for rendering skip maps.
+func (s *Simulator) TilesX() int { return s.fbuf.TilesX() }
+
+// NumTiles returns the screen's tile count.
+func (s *Simulator) NumTiles() int { return s.fbuf.NumTiles() }
+
+// FrameBufferSnapshot copies the currently displayed frame (front buffer),
+// for image-diff tests and examples.
+func (s *Simulator) FrameBufferSnapshot() []uint32 {
+	out := make([]uint32, len(s.fbuf.Front()))
+	copy(out, s.fbuf.Front())
+	return out
+}
+
+// Result is a whole-run outcome.
+type Result struct {
+	Technique Technique
+	Name      string
+	Frames    []Stats
+	Total     Stats
+}
+
+// Run replays every frame of the trace and aggregates statistics.
+func (s *Simulator) Run() Result {
+	res := Result{Technique: s.cfg.Technique, Name: s.trace.Name}
+	res.Frames = make([]Stats, 0, len(s.trace.Frames))
+	for i := range s.trace.Frames {
+		fs := s.RunFrame(&s.trace.Frames[i])
+		res.Frames = append(res.Frames, fs)
+		res.Total.Add(fs)
+	}
+	return res
+}
+
+// RunFrame executes one frame and returns its statistics.
+func (s *Simulator) RunFrame(frame *api.Frame) Stats {
+	st := Stats{Frames: 1}
+	s.frame = &st
+
+	// Snapshot cumulative counters to diff at frame end.
+	dramBefore := s.dram.Stats
+	suBefore := s.re.Unit().Stats
+	sbBefore := s.re.Unit().Buffer().Reads + s.re.Unit().Buffer().Writes
+	teCRCBefore := s.teCRC.Stats
+	teBufBefore := s.teBuf.Reads + s.teBuf.Writes
+	vsBefore := s.vsExec.Counts
+	fsBefore := s.fsExec.Counts
+	cacheBefore := [4]cache.Stats{s.vcache.Stats, s.tcache[0].Stats, s.tilecache.Stats, s.l2.Stats}
+	var tcacheBefore cache.Stats
+	for _, tc := range s.tcache {
+		tcacheBefore.Add(tc.Stats)
+	}
+
+	s.state.BeginFrame()
+	s.re.BeginFrame()
+	s.binner.Reset()
+	s.draws = s.draws[:0]
+	s.tris = s.tris[:0]
+	s.pendingConsts = s.pendingConsts[:0]
+	s.pipeSigned = false // sign the first bound pipeline of each frame
+
+	var geo timing.GeometryWork
+	mrt := false
+	for _, cmd := range frame.Commands {
+		switch c := cmd.(type) {
+		case api.Draw:
+			s.processDraw(c, &st, &geo)
+		case api.UploadProgram:
+			s.state.Apply(cmd)
+			for int(c.ID) >= len(s.programs) {
+				s.programs = append(s.programs, nil)
+				s.fsMasks = append(s.fsMasks, progMask{})
+			}
+			s.programs[c.ID] = c.Program
+			in, consts := c.Program.ReadMasks()
+			s.fsMasks[c.ID] = progMask{in: in, consts: consts}
+		case api.UploadTexture:
+			s.state.Apply(cmd)
+			for int(c.ID) >= len(s.textures) {
+				s.textures = append(s.textures, nil)
+			}
+			t := c.Spec.Build(int(c.ID))
+			t.Base = addrTexBase + uint64(c.ID)<<24
+			s.textures[c.ID] = t
+		case api.SetRenderTargets:
+			s.state.Apply(cmd)
+			if c.N > 1 {
+				mrt = true
+			}
+		case api.SetUniforms:
+			s.state.Apply(cmd)
+			s.pendingConsts = api.AppendUniformRecord(s.pendingConsts, c)
+		default:
+			s.state.Apply(cmd)
+		}
+	}
+
+	// RE disable rules (Section III-E): shader/texture uploads invalidate
+	// stale baselines and render normally; MRT frames render normally.
+	if s.state.UploadsThisFrame {
+		s.re.OnGlobalStateChange()
+	}
+	if mrt {
+		s.re.DisableFrame()
+	}
+
+	geo.PBWriteBytes = s.binner.WrittenBytes()
+	if s.cfg.Technique == RE {
+		geo.SUStallCycles = s.re.Unit().Stats.StallCycles - suBefore.StallCycles
+		st.SUStallCycles = geo.SUStallCycles
+	}
+	st.GeometryCycles = s.cfg.Timing.GeometryCycles(geo)
+
+	for tile := 0; tile < s.fbuf.NumTiles(); tile++ {
+		s.rasterTile(tile, &st)
+	}
+
+	s.re.EndFrame()
+	if s.cfg.Technique == TE {
+		s.teBuf.EndFrame()
+	}
+	s.fbuf.Swap()
+
+	// Assemble the energy-model activity from counter deltas.
+	a := &st.Activity
+	a.VSInstructions = s.vsExec.Counts.Instructions - vsBefore.Instructions
+	a.FSInstructions = s.fsExec.Counts.Instructions - fsBefore.Instructions
+	a.VertexCacheAccesses = s.vcache.Stats.Accesses - cacheBefore[0].Accesses
+	var tcacheNow cache.Stats
+	for _, tc := range s.tcache {
+		tcacheNow.Add(tc.Stats)
+	}
+	a.TextureCacheAccesses = tcacheNow.Accesses - tcacheBefore.Accesses
+	a.TileCacheAccesses = s.tilecache.Stats.Accesses - cacheBefore[2].Accesses
+	a.L2Accesses = s.l2.Stats.Accesses - cacheBefore[3].Accesses
+	a.VerticesFetched = st.Vertices
+	a.TrianglesSetup = st.Triangles
+	a.QuadsTested = st.QuadsTested
+	a.FragmentsBlended = st.FragsRasterized
+
+	switch s.cfg.Technique {
+	case RE:
+		su := s.re.Unit()
+		su.SyncStats()
+		a.SigBufferAccesses = su.Buffer().Reads + su.Buffer().Writes - sbBefore
+		a.CRCLUTAccesses = (su.Stats.Compute.LUTAccesses + su.Stats.Accumulate.LUTAccesses) -
+			(suBefore.Compute.LUTAccesses + suBefore.Accumulate.LUTAccesses)
+		a.BitmapAccesses = (su.Stats.BitmapReads + su.Stats.BitmapWrites) -
+			(suBefore.BitmapReads + suBefore.BitmapWrites)
+		a.OTQueueAccesses = su.Stats.TileUpdates - suBefore.TileUpdates
+	case TE:
+		a.SigBufferAccesses = s.teBuf.Reads + s.teBuf.Writes - teBufBefore
+		a.CRCLUTAccesses = s.teCRC.Stats.LUTAccesses - teCRCBefore.LUTAccesses
+	}
+
+	dNow := s.dram.Stats
+	a.DRAMBytes = dNow.TotalBytes() - dramBefore.TotalBytes()
+	a.DRAMActivations = dNow.RowMisses - dramBefore.RowMisses
+	a.DRAMRequests = (dNow.Reads + dNow.Writes) - (dramBefore.Reads + dramBefore.Writes)
+	a.Cycles = st.TotalCycles()
+
+	s.frameIdx++
+	s.frame = nil
+	return st
+}
+
+// accessExtra performs a cache access and returns the latency beyond the
+// pipelined hit time, i.e. the stall contribution.
+func (s *Simulator) accessExtra(c *cache.Cache, addr uint64, size int, write bool) uint64 {
+	lat := c.Access(addr, size, write)
+	lines := 0
+	lb := c.Config().LineBytes
+	for size > 0 {
+		chunk := lb - int(addr)%lb
+		if chunk > size {
+			chunk = size
+		}
+		lines++
+		addr += uint64(chunk)
+		size -= chunk
+	}
+	base := lines * c.Config().Latency
+	if lat > base {
+		return uint64(lat - base)
+	}
+	return 0
+}
+
+func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork) {
+	if d.Validate() != nil || d.TriangleCount() == 0 {
+		return
+	}
+	drawIdx := len(s.draws)
+	var rec drawRec
+	rec.pipe = s.state.Pipeline
+	rec.numAttrs = d.NumAttrs
+	copy(rec.uniforms[:], s.state.SignedConstants())
+	s.draws = append(s.draws, rec)
+
+	// Render-state changes are signed alongside the constants: rebinding a
+	// program/texture/blend/depth mode changes tile outputs just like a
+	// uniform does.
+	if !s.pipeSigned || s.signedPipe != rec.pipe {
+		s.pendingConsts = api.AppendPipelineRecord(s.pendingConsts, rec.pipe)
+		s.signedPipe = rec.pipe
+		s.pipeSigned = true
+	}
+
+	// A pending uniform or state update opens a new constants epoch in the
+	// Signature Unit.
+	if len(s.pendingConsts) > 0 {
+		s.re.OnConstants(s.pendingConsts)
+		s.pendingConsts = s.pendingConsts[:0]
+	}
+
+	// Vertex fetch through the vertex cache (static VBO layout: the same
+	// simulated addresses every frame).
+	nv := d.VertexCount()
+	st.Vertices += uint64(nv)
+	vbase := uint64(addrVertexBase) + uint64(drawIdx)*addrVertexStride
+	vbytes := nv * d.VertexBytes()
+	geo.VertexBytes += uint64(vbytes)
+	s.curClass = TrafficVertex
+	for off := 0; off < vbytes; off += 64 {
+		n := 64
+		if vbytes-off < n {
+			n = vbytes - off
+		}
+		geo.VertexMissCycles += s.accessExtra(s.vcache, vbase+uint64(off), n, false)
+	}
+
+	// Vertex shading.
+	vs := s.programs[rec.pipe.VS]
+	s.vsExec.Consts = rec.uniforms[:]
+	if cap(s.shadedScratch) < nv {
+		s.shadedScratch = make([]rast.Vertex, nv)
+	}
+	shaded := s.shadedScratch[:nv]
+	for v := 0; v < nv; v++ {
+		attrs := d.Vertex(v)
+		for i := range attrs {
+			s.vsExec.In[i] = attrs[i]
+		}
+		s.vsExec.Run(vs)
+		shaded[v].Pos = s.vsExec.Out[0]
+		for i := 0; i < rast.MaxVaryings; i++ {
+			shaded[v].Var[i] = s.vsExec.Out[i+1]
+		}
+	}
+	geo.VSInstructions += uint64(nv * vs.Len())
+
+	// Primitive assembly: clip, cull, bin, and sign.
+	producer := uint64(vs.Len()*3 + 4)
+	nVaryings := d.NumAttrs - 1
+	pbBytesPerTri := 3 * (1 + nVaryings) * 16
+	for tri := 0; tri < d.TriangleCount(); tri++ {
+		st.Triangles++
+		s.clipScratch = rast.ClipNear(s.clipScratch[:0],
+			rast.Triangle{V: [3]rast.Vertex{
+				shaded[d.TriVertexIndex(tri, 0)],
+				shaded[d.TriVertexIndex(tri, 1)],
+				shaded[d.TriVertexIndex(tri, 2)],
+			}})
+		for ci := range s.clipScratch {
+			stri, ok := rast.Setup(s.clipScratch[ci], s.trace.Width, s.trace.Height, rec.pipe.CullBack)
+			if !ok {
+				continue
+			}
+			ref := tiling.PrimRef{Draw: drawIdx, Tri: len(s.tris)}
+			tiles := s.binner.Insert(&stri, ref, d.NumAttrs, pbBytesPerTri)
+			if len(tiles) == 0 {
+				continue
+			}
+			s.tris = append(s.tris, triRec{st: stri, draw: drawIdx})
+			st.Binned++
+			geo.BinTilePairs += uint64(len(tiles))
+
+			// Parameter Buffer writes through the L2.
+			s.curClass = TrafficPBWrite
+			entry := s.binner.Bin(tiles[0])
+			s.l2.Access(entry[len(entry)-1].Addr, pbBytesPerTri, true)
+			for _, tile := range tiles {
+				s.l2.Access(s.binner.PtrAddr(tile)+uint64(len(s.binner.Bin(tile)))*tiling.PtrEntryBytes, tiling.PtrEntryBytes, true)
+			}
+
+			// Sign the primitive's submitted attributes (Section III-E).
+			s.primScratch = api.AppendPrimitive(s.primScratch[:0], d, tri)
+			s.re.OnPrimitive(s.primScratch, tiles, producer)
+		}
+	}
+}
+
+func (s *Simulator) rasterTile(tile int, st *Stats) {
+	st.TilesTotal++
+	var tw timing.TileWork
+
+	if s.cfg.Technique == RE && !s.re.Disabled() {
+		tw.CompareCycles = 4
+		if s.re.ShouldSkip(tile) {
+			// Rendering Elimination bypass: the whole Raster Pipeline is
+			// skipped and the Frame Buffer keeps the previous colors.
+			tw.Skipped = true
+			st.TilesSkipped++
+			s.skipCounts[tile]++
+			st.TileClasses[TileEqColorEqInput]++
+			st.TilesClassified++
+			st.RasterCycles += s.cfg.Timing.TileCycles(tw)
+			return
+		}
+	}
+
+	rect := s.fbuf.TileRect(tile)
+	s.tb.Clear(s.clearColor)
+	bin := s.binner.Bin(tile)
+
+	// Tile Scheduler: fetch the tile's pointer list and primitive data from
+	// the Parameter Buffer through the Tile Cache.
+	s.curClass = TrafficPBRead
+	for i, e := range bin {
+		tw.FetchMissCycles += s.accessExtra(s.tilecache, s.binner.PtrAddr(tile)+uint64(i)*tiling.PtrEntryBytes, tiling.PtrEntryBytes, false)
+		tw.FetchMissCycles += s.accessExtra(s.tilecache, e.Addr, e.Bytes, false)
+		tw.FetchBytes += uint64(e.Bytes) + tiling.PtrEntryBytes
+	}
+
+	fsBefore := s.fsExec.Counts
+	s.texExtraLat = 0
+	// PFR pairing: the second frame of each pair may reuse the first's
+	// same-tile entries; the first of a pair only reuses intra-frame.
+	crossFrame := s.frameIdx%2 == 1
+	if s.cfg.Technique == Memo {
+		s.memo.beginTile()
+	}
+	var tileFrags uint64
+
+	for _, e := range bin {
+		tri := &s.tris[e.Ref.Tri]
+		draw := &s.draws[e.Ref.Draw]
+		fsProg := s.programs[draw.pipe.FS]
+		for u := range s.fsSampler.tex {
+			s.fsSampler.tex[u] = s.textures[draw.pipe.Tex[u]]
+		}
+		s.fsExec.Consts = draw.uniforms[:]
+		tw.SetupAttrs += uint64(3 * e.NumAttrs * 4)
+
+		depthTest := draw.pipe.DepthTest
+		depthWrite := draw.pipe.DepthWrite
+		blend := draw.pipe.Blend
+
+		tri.st.Rasterize(rect, func(qx, qy int, mask uint8) {
+			tw.Quads++
+			st.QuadsTested++
+			st.Activity.DepthBufferAccesses += 2 // test + conditional update
+		}, func(f *rast.Fragment) {
+			idx := fb.Idx(f.X-rect.X0, f.Y-rect.Y0)
+			if depthTest {
+				if f.Z >= s.tb.Depth[idx] {
+					st.FragsEarlyZKill++
+					return
+				}
+				if depthWrite {
+					s.tb.Depth[idx] = f.Z
+				}
+			}
+			st.FragsRasterized++
+			tileFrags++
+
+			var color geom.Vec4
+			reused := false
+			if s.cfg.Technique == Memo {
+				mask := s.fsMasks[draw.pipe.FS]
+				h := s.fragHasher.hash(uint8(draw.pipe.FS), [4]uint8{
+					uint8(draw.pipe.Tex[0]), uint8(draw.pipe.Tex[1]),
+					uint8(draw.pipe.Tex[2]), uint8(draw.pipe.Tex[3]),
+				}, mask.in, mask.consts, draw.uniforms[:], &f.Var)
+				if c, ok := s.memo.lookup(tile, h, crossFrame); ok {
+					color = c
+					reused = true
+					st.FragsMemoReused++
+				}
+				if !reused {
+					color = s.shadeFragment(fsProg, f)
+					st.FragsShaded++
+					s.memo.insert(h, color)
+				}
+			} else {
+				color = s.shadeFragment(fsProg, f)
+				st.FragsShaded++
+			}
+
+			packed := texture.PackColor(color)
+			if blend == api.BlendAlpha {
+				dst := texture.UnpackColor(s.tb.Color[idx])
+				a := color.W
+				out := color.Scale(a).Add(dst.Scale(1 - a))
+				out.W = a + dst.W*(1-a)
+				packed = texture.PackColor(out)
+				st.Activity.ColorBufferAccesses++ // destination read
+			}
+			s.tb.Color[idx] = packed
+			st.Activity.ColorBufferAccesses++
+		})
+	}
+	if s.cfg.Technique == Memo {
+		s.memo.endTile(tile)
+	}
+	tw.FSInstructions = s.fsExec.Counts.Instructions - fsBefore.Instructions
+	tw.TexMissCycles = s.texExtraLat
+	tw.BlendFrags = tileFrags
+
+	// Ground-truth classification against the frame two swaps back.
+	var eqColor bool
+	if s.cfg.TrackGroundTruth {
+		eqColor = s.fbuf.TileEqualsBack(tile, &s.tb)
+		if match, valid := s.re.BaselineMatch(tile); valid {
+			st.TilesClassified++
+			switch {
+			case eqColor && match:
+				st.TileClasses[TileEqColorEqInput]++
+			case eqColor && !match:
+				st.TileClasses[TileEqColorDiffInput]++
+			case !eqColor && match:
+				st.TileClasses[TileEqInputDiffColor]++ // CRC collision
+			default:
+				st.TileClasses[TileDiffColor]++
+			}
+		}
+	}
+
+	// Transaction Elimination: sign the rendered colors and skip the flush
+	// when they match the Back Buffer's previous contents (Section IV-C).
+	doFlush := true
+	if s.cfg.Technique == TE {
+		w := rect.X1 - rect.X0
+		npx := rect.Area()
+		for i := 0; i < npx; i++ {
+			binary.LittleEndian.PutUint32(s.teByteBuf[i*4:], s.tb.Color[fb.Idx(i%w, i/w)])
+		}
+		colorSig, _ := s.teCRC.Sign(s.teByteBuf[:npx*4])
+		s.teBuf.Store(tile, colorSig)
+		if match, valid := s.teBuf.Match(tile); valid && match {
+			doFlush = false
+		}
+	}
+
+	// Tile flush: write the Color Buffer out to the Frame Buffer in DRAM.
+	if doFlush {
+		st.FlushesDone++
+		bytes := s.fbuf.FlushTile(tile, &s.tb)
+		tw.FlushBytes = uint64(bytes)
+		st.Activity.ColorBufferAccesses += uint64((bytes + 63) / 64)
+		s.curClass = TrafficColor
+		for y := rect.Y0; y < rect.Y1; y++ {
+			s.dramWrite(s.fbuf.PixelAddr(rect.X0, y), (rect.X1-rect.X0)*4)
+		}
+	} else {
+		st.FlushesSkipped++
+	}
+
+	st.RasterCycles += s.cfg.Timing.TileCycles(tw)
+}
+
+// dramWrite issues a classified direct-to-DRAM write (tile flush path).
+func (s *Simulator) dramWrite(addr uint64, size int) {
+	s.frame.Traffic[s.curClass] += uint64(size)
+	s.dram.Write(addr, size)
+}
+
+func (s *Simulator) shadeFragment(p *shader.Program, f *rast.Fragment) geom.Vec4 {
+	for i := 0; i < rast.MaxVaryings; i++ {
+		s.fsExec.In[i+1] = f.Var[i]
+	}
+	s.fsExec.Run(p)
+	return s.fsExec.Out[0]
+}

@@ -1,0 +1,403 @@
+// Package shader implements the programmable-stage model of the simulated
+// GPU: a small vec4 register bytecode that both the Vertex Processors and
+// the Fragment Processors execute (paper Section II, "programs called
+// shaders ... shared among all vertices of a drawcall"). The interpreter
+// renders real colors — the functional half of the simulator — and counts
+// executed instructions and texture samples for the timing and energy
+// models.
+package shader
+
+import (
+	"fmt"
+	"math"
+
+	"rendelim/internal/geom"
+)
+
+// Register-file size limits. They mirror the small register budgets of a
+// Mali-class shader core and bound Exec's fixed storage.
+const (
+	MaxInputs  = 8  // vertex attributes / interpolated varyings
+	MaxTemps   = 8  // scratch registers
+	MaxConsts  = 32 // uniform registers ("scene constants")
+	MaxOutputs = 4  // o0 = position (VS) or color (FS), o1.. = varyings
+	MaxTexUnit = 4
+)
+
+// Op enumerates the VM opcodes.
+type Op uint8
+
+// Supported operations. All execute in one cycle of a shader processor.
+const (
+	OpMov Op = iota // d = a
+	OpAdd           // d = a + b
+	OpSub           // d = a - b
+	OpMul           // d = a * b
+	OpMad           // d = a*b + c
+	OpDP3           // d = splat(a.xyz · b.xyz)
+	OpDP4           // d = splat(a · b)
+	OpMin           // d = min(a, b)
+	OpMax           // d = max(a, b)
+	OpRcp           // d = splat(1 / a.x)
+	OpRsq           // d = splat(1 / sqrt(|a.x|))
+	OpFrc           // d = a - floor(a)
+	OpFlr           // d = floor(a)
+	OpSat           // d = clamp(a, 0, 1)
+	OpCmp           // d_i = a_i >= 0 ? b_i : c_i
+	OpTex           // d = sample(TexUnit, a.xy)
+	opCount
+)
+
+var opNames = [opCount]string{
+	"mov", "add", "sub", "mul", "mad", "dp3", "dp4", "min", "max",
+	"rcp", "rsq", "frc", "flr", "sat", "cmp", "tex",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// nsrc[op] is the number of source operands the op reads.
+var nsrc = [opCount]int{
+	OpMov: 1, OpAdd: 2, OpSub: 2, OpMul: 2, OpMad: 3, OpDP3: 2, OpDP4: 2,
+	OpMin: 2, OpMax: 2, OpRcp: 1, OpRsq: 1, OpFrc: 1, OpFlr: 1, OpSat: 1,
+	OpCmp: 3, OpTex: 1,
+}
+
+// File selects a register bank.
+type File uint8
+
+// Register banks.
+const (
+	FileTemp   File = iota // r0..r7, read/write
+	FileInput              // v0..v7, read-only
+	FileConst              // c0..c31, read-only uniforms
+	FileOutput             // o0..o3, write-only
+)
+
+// String implements fmt.Stringer.
+func (f File) String() string {
+	switch f {
+	case FileTemp:
+		return "r"
+	case FileInput:
+		return "v"
+	case FileConst:
+		return "c"
+	case FileOutput:
+		return "o"
+	}
+	return "?"
+}
+
+// Swizzle selects, per destination component, which source component to
+// read. The identity swizzle is {0,1,2,3} (".xyzw").
+type Swizzle [4]uint8
+
+// SwzXYZW is the identity swizzle.
+var SwzXYZW = Swizzle{0, 1, 2, 3}
+
+// Swz builds a swizzle from component indices (0=x .. 3=w).
+func Swz(x, y, z, w uint8) Swizzle { return Swizzle{x, y, z, w} }
+
+// Src is a source operand: a register reference with swizzle and negation.
+type Src struct {
+	File File
+	Idx  uint8
+	Swz  Swizzle
+	Neg  bool
+}
+
+// R, V, C construct plain temp/input/const sources with identity swizzle.
+func R(i uint8) Src { return Src{File: FileTemp, Idx: i, Swz: SwzXYZW} }
+
+// V returns input register i as a source.
+func V(i uint8) Src { return Src{File: FileInput, Idx: i, Swz: SwzXYZW} }
+
+// C returns constant register i as a source.
+func C(i uint8) Src { return Src{File: FileConst, Idx: i, Swz: SwzXYZW} }
+
+// Swizzled returns s with the given swizzle.
+func (s Src) Swizzled(sw Swizzle) Src { s.Swz = sw; return s }
+
+// Negated returns s with the sign flipped.
+func (s Src) Negated() Src { s.Neg = !s.Neg; return s }
+
+// Write-mask bits for Dst.Mask. A zero mask means "all lanes" so that the
+// zero value of Dst writes the whole register.
+const (
+	MaskX = 1 << iota
+	MaskY
+	MaskZ
+	MaskW
+	MaskXYZW = MaskX | MaskY | MaskZ | MaskW
+)
+
+// Dst is a destination operand: a temp or output register with an optional
+// per-component write mask (as in ARB/DX shader assembly).
+type Dst struct {
+	File File
+	Idx  uint8
+	Mask uint8
+}
+
+// RD and OD construct temp and output destinations.
+func RD(i uint8) Dst { return Dst{File: FileTemp, Idx: i} }
+
+// OD returns output register i as a destination.
+func OD(i uint8) Dst { return Dst{File: FileOutput, Idx: i} }
+
+// Masked returns d writing only the lanes in mask.
+func (d Dst) Masked(mask uint8) Dst { d.Mask = mask; return d }
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op      Op
+	Dst     Dst
+	Src     [3]Src
+	TexUnit uint8 // for OpTex
+}
+
+// Program is a validated sequence of instructions with a name for reports.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Len returns the instruction count (the per-invocation cycle cost on one
+// shader processor).
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Validate checks every register reference against the bank limits.
+func (p *Program) Validate() error {
+	for i, in := range p.Instrs {
+		if in.Op >= opCount {
+			return fmt.Errorf("shader %q instr %d: bad opcode %d", p.Name, i, in.Op)
+		}
+		switch in.Dst.File {
+		case FileTemp:
+			if in.Dst.Idx >= MaxTemps {
+				return fmt.Errorf("shader %q instr %d: temp dst %d out of range", p.Name, i, in.Dst.Idx)
+			}
+		case FileOutput:
+			if in.Dst.Idx >= MaxOutputs {
+				return fmt.Errorf("shader %q instr %d: output dst %d out of range", p.Name, i, in.Dst.Idx)
+			}
+		default:
+			return fmt.Errorf("shader %q instr %d: dst file %v not writable", p.Name, i, in.Dst.File)
+		}
+		for s := 0; s < nsrc[in.Op]; s++ {
+			src := in.Src[s]
+			var limit uint8
+			switch src.File {
+			case FileTemp:
+				limit = MaxTemps
+			case FileInput:
+				limit = MaxInputs
+			case FileConst:
+				limit = MaxConsts
+			default:
+				return fmt.Errorf("shader %q instr %d: src file %v not readable", p.Name, i, src.File)
+			}
+			if src.Idx >= limit {
+				return fmt.Errorf("shader %q instr %d: src %v%d out of range", p.Name, i, src.File, src.Idx)
+			}
+			for _, c := range src.Swz {
+				if c > 3 {
+					return fmt.Errorf("shader %q instr %d: bad swizzle component %d", p.Name, i, c)
+				}
+			}
+		}
+		if in.Op == OpTex && in.TexUnit >= MaxTexUnit {
+			return fmt.Errorf("shader %q instr %d: texture unit %d out of range", p.Name, i, in.TexUnit)
+		}
+	}
+	return nil
+}
+
+// Sampler provides texture lookups to the VM. The GPU integrator wraps the
+// texture store with cache-traffic recording behind this interface.
+type Sampler interface {
+	Sample(unit int, u, v float32) geom.Vec4
+}
+
+// Counts accumulates the dynamic activity of shader invocations.
+type Counts struct {
+	Instructions uint64
+	TexSamples   uint64
+	Invocations  uint64
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.Instructions += o.Instructions
+	c.TexSamples += o.TexSamples
+	c.Invocations += o.Invocations
+}
+
+// Exec is a reusable execution context. Set In and Consts, call Run, read
+// Out. Exec is not safe for concurrent use; allocate one per goroutine.
+type Exec struct {
+	In      [MaxInputs]geom.Vec4
+	Out     [MaxOutputs]geom.Vec4
+	Consts  []geom.Vec4
+	Sampler Sampler
+	Counts  Counts
+
+	temps [MaxTemps]geom.Vec4
+}
+
+func (e *Exec) read(s Src) geom.Vec4 {
+	var reg geom.Vec4
+	switch s.File {
+	case FileTemp:
+		reg = e.temps[s.Idx]
+	case FileInput:
+		reg = e.In[s.Idx]
+	case FileConst:
+		if int(s.Idx) < len(e.Consts) {
+			reg = e.Consts[s.Idx]
+		}
+	}
+	out := geom.Vec4{
+		X: reg.Comp(int(s.Swz[0])),
+		Y: reg.Comp(int(s.Swz[1])),
+		Z: reg.Comp(int(s.Swz[2])),
+		W: reg.Comp(int(s.Swz[3])),
+	}
+	if s.Neg {
+		out = out.Scale(-1)
+	}
+	return out
+}
+
+func (e *Exec) write(d Dst, v geom.Vec4) {
+	var reg *geom.Vec4
+	if d.File == FileOutput {
+		reg = &e.Out[d.Idx]
+	} else {
+		reg = &e.temps[d.Idx]
+	}
+	mask := d.Mask
+	if mask == 0 || mask == MaskXYZW {
+		*reg = v
+		return
+	}
+	if mask&MaskX != 0 {
+		reg.X = v.X
+	}
+	if mask&MaskY != 0 {
+		reg.Y = v.Y
+	}
+	if mask&MaskZ != 0 {
+		reg.Z = v.Z
+	}
+	if mask&MaskW != 0 {
+		reg.W = v.W
+	}
+}
+
+func splat(v float32) geom.Vec4 { return geom.Vec4{X: v, Y: v, Z: v, W: v} }
+
+// Run executes p against the current inputs/constants. The temporaries are
+// zeroed first so invocations are independent and deterministic.
+func (e *Exec) Run(p *Program) {
+	e.temps = [MaxTemps]geom.Vec4{}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		a := e.read(in.Src[0])
+		var b, c geom.Vec4
+		if nsrc[in.Op] > 1 {
+			b = e.read(in.Src[1])
+		}
+		if nsrc[in.Op] > 2 {
+			c = e.read(in.Src[2])
+		}
+		var r geom.Vec4
+		switch in.Op {
+		case OpMov:
+			r = a
+		case OpAdd:
+			r = a.Add(b)
+		case OpSub:
+			r = a.Sub(b)
+		case OpMul:
+			r = a.Mul(b)
+		case OpMad:
+			r = a.Mul(b).Add(c)
+		case OpDP3:
+			r = splat(a.Dot3(b))
+		case OpDP4:
+			r = splat(a.Dot(b))
+		case OpMin:
+			r = geom.Vec4{X: minf(a.X, b.X), Y: minf(a.Y, b.Y), Z: minf(a.Z, b.Z), W: minf(a.W, b.W)}
+		case OpMax:
+			r = geom.Vec4{X: maxf(a.X, b.X), Y: maxf(a.Y, b.Y), Z: maxf(a.Z, b.Z), W: maxf(a.W, b.W)}
+		case OpRcp:
+			r = splat(rcp(a.X))
+		case OpRsq:
+			r = splat(rsq(a.X))
+		case OpFrc:
+			r = geom.Vec4{X: frc(a.X), Y: frc(a.Y), Z: frc(a.Z), W: frc(a.W)}
+		case OpFlr:
+			r = geom.Vec4{X: flr(a.X), Y: flr(a.Y), Z: flr(a.Z), W: flr(a.W)}
+		case OpSat:
+			r = a.Clamp01()
+		case OpCmp:
+			r = geom.Vec4{X: cmp(a.X, b.X, c.X), Y: cmp(a.Y, b.Y, c.Y), Z: cmp(a.Z, b.Z, c.Z), W: cmp(a.W, b.W, c.W)}
+		case OpTex:
+			r = e.Sampler.Sample(int(in.TexUnit), a.X, a.Y)
+			e.Counts.TexSamples++
+		}
+		e.write(in.Dst, r)
+	}
+	e.Counts.Instructions += uint64(len(p.Instrs))
+	e.Counts.Invocations++
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func rcp(v float32) float32 {
+	if v == 0 {
+		return float32(math.Inf(1))
+	}
+	return 1 / v
+}
+
+func rsq(v float32) float32 {
+	av := float64(v)
+	if av < 0 {
+		av = -av
+	}
+	if av == 0 {
+		return float32(math.Inf(1))
+	}
+	return float32(1 / math.Sqrt(av))
+}
+
+func frc(v float32) float32 { return v - flr(v) }
+
+func flr(v float32) float32 { return float32(math.Floor(float64(v))) }
+
+func cmp(a, b, c float32) float32 {
+	if a >= 0 {
+		return b
+	}
+	return c
+}

@@ -1,0 +1,104 @@
+package texture
+
+import "rendelim/internal/geom"
+
+// Procedural texture synthesis. These stand in for game art; each generator
+// is a pure function of its parameters and the texture size, so traces are
+// reproducible without shipping image assets.
+
+// xorshift is a tiny deterministic PRNG for texture noise, independent of
+// math/rand so texel values never change across Go releases.
+type xorshift uint64
+
+func (s *xorshift) next() uint32 {
+	x := uint64(*s)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = xorshift(x)
+	return uint32(x >> 32)
+}
+
+// FillChecker paints an nxn checkerboard with the two colors.
+func FillChecker(t *Texture, n int, a, b geom.Vec4) {
+	if n < 1 {
+		n = 1
+	}
+	pa, pb := PackColor(a), PackColor(b)
+	cw := (t.W + n - 1) / n
+	ch := (t.H + n - 1) / n
+	for y := 0; y < t.H; y++ {
+		for x := 0; x < t.W; x++ {
+			if ((x/cw)+(y/ch))%2 == 0 {
+				t.Pix[y*t.W+x] = pa
+			} else {
+				t.Pix[y*t.W+x] = pb
+			}
+		}
+	}
+}
+
+// FillGradient paints a vertical gradient from top to bottom.
+func FillGradient(t *Texture, top, bottom geom.Vec4) {
+	for y := 0; y < t.H; y++ {
+		f := float32(y) / float32(max(t.H-1, 1))
+		c := PackColor(top.Lerp(bottom, f))
+		for x := 0; x < t.W; x++ {
+			t.Pix[y*t.W+x] = c
+		}
+	}
+}
+
+// FillNoise paints seeded value noise: blocky random tiles of the base color
+// perturbed by amp.
+func FillNoise(t *Texture, seed uint64, cell int, base geom.Vec4, amp float32) {
+	if cell < 1 {
+		cell = 1
+	}
+	rng := xorshift(seed | 1)
+	cols := (t.W + cell - 1) / cell
+	rows := (t.H + cell - 1) / cell
+	cellColor := make([]uint32, cols*rows)
+	for i := range cellColor {
+		d := (float32(rng.next()%1000)/1000 - 0.5) * 2 * amp
+		cellColor[i] = PackColor(geom.V4(base.X+d, base.Y+d, base.Z+d, base.W))
+	}
+	for y := 0; y < t.H; y++ {
+		for x := 0; x < t.W; x++ {
+			t.Pix[y*t.W+x] = cellColor[(y/cell)*cols+x/cell]
+		}
+	}
+}
+
+// FillDisc paints a filled disc of color fg over bg, for sprite-like art.
+func FillDisc(t *Texture, fg, bg geom.Vec4) {
+	pf, pb := PackColor(fg), PackColor(bg)
+	cx := float32(t.W) / 2
+	cy := float32(t.H) / 2
+	r := minf(cx, cy) * 0.9
+	for y := 0; y < t.H; y++ {
+		for x := 0; x < t.W; x++ {
+			dx := float32(x) + 0.5 - cx
+			dy := float32(y) + 0.5 - cy
+			if dx*dx+dy*dy <= r*r {
+				t.Pix[y*t.W+x] = pf
+			} else {
+				t.Pix[y*t.W+x] = pb
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package timing
+
+import "testing"
+
+func TestGeometryBusiestStageWins(t *testing.T) {
+	p := Default()
+	// Vertex shading dominates here: 4000 instructions on 1 VP.
+	w := GeometryWork{VSInstructions: 4000, VertexBytes: 800, Triangles: 100, BinTilePairs: 200}
+	if got := p.GeometryCycles(w); got != 4000 {
+		t.Fatalf("geometry cycles = %d, want 4000", got)
+	}
+	// Binning dominates when a frame has huge tile fan-out.
+	w = GeometryWork{VSInstructions: 10, BinTilePairs: 9000}
+	if got := p.GeometryCycles(w); got != 9000 {
+		t.Fatalf("geometry cycles = %d, want 9000", got)
+	}
+}
+
+func TestGeometryStallsAdd(t *testing.T) {
+	p := Default()
+	base := p.GeometryCycles(GeometryWork{VSInstructions: 1000})
+	stalled := p.GeometryCycles(GeometryWork{VSInstructions: 1000, SUStallCycles: 50, VertexMissCycles: 100})
+	if stalled <= base+50 {
+		t.Fatalf("stalls not additive: %d vs %d", stalled, base)
+	}
+	// Overlap hides part of the miss latency.
+	if stalled >= base+50+100 {
+		t.Fatalf("miss overlap not applied: %d", stalled)
+	}
+}
+
+func TestTileSkippedCostsOnlyCompare(t *testing.T) {
+	p := Default()
+	w := TileWork{FSInstructions: 100000, Quads: 64, CompareCycles: 4, Skipped: true}
+	if got := p.TileCycles(w); got != 4 {
+		t.Fatalf("skipped tile = %d cycles, want 4", got)
+	}
+}
+
+func TestTileFragmentBoundTile(t *testing.T) {
+	p := Default()
+	// 256 fragments x 10 instructions / 4 FPs = 640 cycles dominate.
+	w := TileWork{
+		FetchBytes: 1024, SetupAttrs: 90, Quads: 64,
+		FSInstructions: 2560, BlendFrags: 256, FlushBytes: 1024,
+	}
+	if got := p.TileCycles(w); got != 640 {
+		t.Fatalf("tile cycles = %d, want 640", got)
+	}
+}
+
+func TestTileFlushBoundWhenShadingTrivial(t *testing.T) {
+	p := Default()
+	// Flat-shaded tile: flush 1 KB at 4 B/cycle = 256 cycles dominates.
+	w := TileWork{Quads: 64, FSInstructions: 256, BlendFrags: 256, FlushBytes: 1024}
+	if got := p.TileCycles(w); got != 256 {
+		t.Fatalf("tile cycles = %d, want 256", got)
+	}
+}
+
+func TestTileStallsAdded(t *testing.T) {
+	p := Default()
+	w := TileWork{FSInstructions: 400, TexMissCycles: 400}
+	base := p.TileCycles(TileWork{FSInstructions: 400})
+	got := p.TileCycles(w)
+	if got != base+uint64(float64(400)*(1-p.FragOverlap)) {
+		t.Fatalf("tex stall = %d (base %d)", got, base)
+	}
+}
+
+func TestTileCompareOverheadOnRenderedTile(t *testing.T) {
+	p := Default()
+	w := TileWork{FSInstructions: 400, CompareCycles: 4}
+	if p.TileCycles(w) != p.TileCycles(TileWork{FSInstructions: 400})+4 {
+		t.Fatal("compare cost should add to rendered tiles too")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	p := Default()
+	if p.Seconds(uint64(p.FreqHz)) != 1 {
+		t.Fatal("seconds conversion wrong")
+	}
+}
+
+func TestDivCeilGuards(t *testing.T) {
+	if divCeil(10, 0) != 10 {
+		t.Fatal("divCeil by zero should pass through")
+	}
+	if divCeil(10, 4) != 3 {
+		t.Fatal("divCeil wrong")
+	}
+	if maxU64() != 0 {
+		t.Fatal("empty max should be 0")
+	}
+}

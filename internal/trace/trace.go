@@ -1,0 +1,400 @@
+// Package trace serializes api.Trace workloads to a compact, deterministic
+// binary format, making the simulator trace-driven the way Teapot is: the
+// retrace tool records command streams once, and resim/reexp replay them.
+// The format is versioned, little-endian, and self-contained (shader
+// programs and procedural texture specs travel inside the file).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"rendelim/internal/api"
+	"rendelim/internal/geom"
+	"rendelim/internal/shader"
+	"rendelim/internal/texture"
+)
+
+func texFilter(v uint8) texture.Filter { return texture.Filter(v) }
+
+// Magic and version identify the format.
+const (
+	Magic   = "RDLM"
+	Version = 1
+)
+
+// Command tags.
+const (
+	tagSetPipeline      = 1
+	tagSetUniforms      = 2
+	tagDraw             = 3
+	tagUploadProgram    = 4
+	tagUploadTexture    = 5
+	tagSetRenderTargets = 6
+)
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) bytes(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *writer) u8(v uint8) { w.bytes([]byte{v}) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) u16(v uint16)  { var b [2]byte; binary.LittleEndian.PutUint16(b[:], v); w.bytes(b[:]) }
+func (w *writer) u32(v uint32)  { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); w.bytes(b[:]) }
+func (w *writer) u64(v uint64)  { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); w.bytes(b[:]) }
+func (w *writer) f32(v float32) { w.u32(math.Float32bits(v)) }
+
+func (w *writer) str(s string) {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	w.u16(uint16(len(s)))
+	w.bytes([]byte(s))
+}
+
+func (w *writer) vec4(v geom.Vec4) { w.f32(v.X); w.f32(v.Y); w.f32(v.Z); w.f32(v.W) }
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return nil
+	}
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.bytes(n)
+	return string(b)
+}
+
+func (r *reader) vec4() geom.Vec4 {
+	return geom.Vec4{X: r.f32(), Y: r.f32(), Z: r.f32(), W: r.f32()}
+}
+
+// Encode writes tr to w.
+func Encode(out io.Writer, tr *api.Trace) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	w.bytes([]byte(Magic))
+	w.u32(Version)
+	w.str(tr.Name)
+	w.u32(uint32(tr.Width))
+	w.u32(uint32(tr.Height))
+	w.vec4(tr.ClearColor)
+
+	w.u16(uint16(len(tr.Programs)))
+	for _, p := range tr.Programs {
+		encodeProgram(w, p)
+	}
+	w.u16(uint16(len(tr.Textures)))
+	for _, t := range tr.Textures {
+		encodeTexSpec(w, t)
+	}
+	w.u32(uint32(len(tr.Frames)))
+	for i := range tr.Frames {
+		f := &tr.Frames[i]
+		w.u32(uint32(len(f.Commands)))
+		for _, cmd := range f.Commands {
+			encodeCommand(w, cmd)
+		}
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Decode reads a trace and validates it.
+func Decode(in io.Reader) (*api.Trace, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	if string(r.bytes(4)) != Magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	if v := r.u32(); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	tr := &api.Trace{}
+	tr.Name = r.str()
+	tr.Width = int(r.u32())
+	tr.Height = int(r.u32())
+	tr.ClearColor = r.vec4()
+
+	np := int(r.u16())
+	for i := 0; i < np && r.err == nil; i++ {
+		tr.Programs = append(tr.Programs, decodeProgram(r))
+	}
+	nt := int(r.u16())
+	for i := 0; i < nt && r.err == nil; i++ {
+		tr.Textures = append(tr.Textures, decodeTexSpec(r))
+	}
+	nf := int(r.u32())
+	if nf > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible frame count %d", nf)
+	}
+	for i := 0; i < nf && r.err == nil; i++ {
+		nc := int(r.u32())
+		if nc > 1<<22 {
+			return nil, fmt.Errorf("trace: implausible command count %d", nc)
+		}
+		var f api.Frame
+		if nc > 0 {
+			f.Commands = make([]api.Command, 0, nc)
+		}
+		for c := 0; c < nc && r.err == nil; c++ {
+			f.Commands = append(f.Commands, decodeCommand(r))
+		}
+		tr.Frames = append(tr.Frames, f)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", r.err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func encodeProgram(w *writer, p *shader.Program) {
+	w.str(p.Name)
+	w.u16(uint16(len(p.Instrs)))
+	for _, in := range p.Instrs {
+		w.u8(uint8(in.Op))
+		w.u8(uint8(in.Dst.File))
+		w.u8(in.Dst.Idx)
+		w.u8(in.Dst.Mask)
+		w.u8(in.TexUnit)
+		for _, s := range in.Src {
+			w.u8(uint8(s.File))
+			w.u8(s.Idx)
+			w.u8(s.Swz[0] | s.Swz[1]<<2 | s.Swz[2]<<4 | s.Swz[3]<<6)
+			w.bool(s.Neg)
+		}
+	}
+}
+
+func decodeProgram(r *reader) *shader.Program {
+	p := &shader.Program{Name: r.str()}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		var in shader.Instr
+		in.Op = shader.Op(r.u8())
+		in.Dst.File = shader.File(r.u8())
+		in.Dst.Idx = r.u8()
+		in.Dst.Mask = r.u8()
+		in.TexUnit = r.u8()
+		for s := range in.Src {
+			in.Src[s].File = shader.File(r.u8())
+			in.Src[s].Idx = r.u8()
+			sw := r.u8()
+			in.Src[s].Swz = shader.Swz(sw&3, sw>>2&3, sw>>4&3, sw>>6&3)
+			in.Src[s].Neg = r.bool()
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	return p
+}
+
+func encodeTexSpec(w *writer, t api.TextureSpec) {
+	w.u8(uint8(t.Kind))
+	w.u32(uint32(t.W))
+	w.u32(uint32(t.H))
+	w.u32(uint32(t.Cell))
+	w.u64(t.Seed)
+	w.vec4(t.A)
+	w.vec4(t.B)
+	w.f32(t.Amp)
+	w.u8(uint8(t.Filter))
+}
+
+func decodeTexSpec(r *reader) api.TextureSpec {
+	var t api.TextureSpec
+	t.Kind = api.TextureKind(r.u8())
+	t.W = int(r.u32())
+	t.H = int(r.u32())
+	t.Cell = int(r.u32())
+	t.Seed = r.u64()
+	t.A = r.vec4()
+	t.B = r.vec4()
+	t.Amp = r.f32()
+	t.Filter = texFilter(r.u8())
+	return t
+}
+
+func encodeCommand(w *writer, cmd api.Command) {
+	switch c := cmd.(type) {
+	case api.SetPipeline:
+		w.u8(tagSetPipeline)
+		w.u8(uint8(c.VS))
+		w.u8(uint8(c.FS))
+		for _, t := range c.Tex {
+			w.u8(uint8(t))
+		}
+		w.u8(uint8(c.Blend))
+		w.bool(c.DepthTest)
+		w.bool(c.DepthWrite)
+		w.bool(c.CullBack)
+	case api.SetUniforms:
+		w.u8(tagSetUniforms)
+		w.u16(uint16(c.First))
+		w.u16(uint16(len(c.Values)))
+		for _, v := range c.Values {
+			w.vec4(v)
+		}
+	case api.Draw:
+		w.u8(tagDraw)
+		w.u8(uint8(c.NumAttrs))
+		w.u32(uint32(len(c.Data)))
+		for _, v := range c.Data {
+			w.vec4(v)
+		}
+		w.u32(uint32(len(c.Indices)))
+		for _, ix := range c.Indices {
+			w.u16(ix)
+		}
+	case api.UploadProgram:
+		w.u8(tagUploadProgram)
+		w.u8(uint8(c.ID))
+		encodeProgram(w, c.Program)
+	case api.UploadTexture:
+		w.u8(tagUploadTexture)
+		w.u8(uint8(c.ID))
+		encodeTexSpec(w, c.Spec)
+	case api.SetRenderTargets:
+		w.u8(tagSetRenderTargets)
+		w.u8(uint8(c.N))
+	default:
+		w.err = fmt.Errorf("trace: unknown command %T", cmd)
+	}
+}
+
+func decodeCommand(r *reader) api.Command {
+	switch tag := r.u8(); tag {
+	case tagSetPipeline:
+		var c api.SetPipeline
+		c.VS = api.ProgramID(r.u8())
+		c.FS = api.ProgramID(r.u8())
+		for i := range c.Tex {
+			c.Tex[i] = api.TextureID(r.u8())
+		}
+		c.Blend = api.BlendMode(r.u8())
+		c.DepthTest = r.bool()
+		c.DepthWrite = r.bool()
+		c.CullBack = r.bool()
+		return c
+	case tagSetUniforms:
+		var c api.SetUniforms
+		c.First = int(r.u16())
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			c.Values = append(c.Values, r.vec4())
+		}
+		return c
+	case tagDraw:
+		var c api.Draw
+		c.NumAttrs = int(r.u8())
+		n := int(r.u32())
+		if n > 1<<26 {
+			r.fail("implausible draw size %d", n)
+			return c
+		}
+		c.Data = make([]geom.Vec4, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			c.Data = append(c.Data, r.vec4())
+		}
+		ni := int(r.u32())
+		if ni > 1<<26 {
+			r.fail("implausible index count %d", ni)
+			return c
+		}
+		if ni > 0 {
+			c.Indices = make([]uint16, 0, ni)
+			for i := 0; i < ni && r.err == nil; i++ {
+				c.Indices = append(c.Indices, r.u16())
+			}
+		}
+		return c
+	case tagUploadProgram:
+		var c api.UploadProgram
+		c.ID = api.ProgramID(r.u8())
+		c.Program = decodeProgram(r)
+		return c
+	case tagUploadTexture:
+		var c api.UploadTexture
+		c.ID = api.TextureID(r.u8())
+		c.Spec = decodeTexSpec(r)
+		return c
+	case tagSetRenderTargets:
+		return api.SetRenderTargets{N: int(r.u8())}
+	default:
+		r.fail("unknown command tag %d", tag)
+		return api.SetRenderTargets{N: 1}
+	}
+}
