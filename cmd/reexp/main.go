@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	reexp [-width 480] [-height 272] [-frames 50] [-seed 1] [-figs all]
+//	reexp [-width 480] [-height 272] [-frames 50] [-seed 1] [-figs all] [-workers N]
 //
 // -figs takes a comma-separated subset of:
 //
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,10 +32,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	figs := flag.String("figs", "all", "comma-separated figure list or 'all'")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	flag.Parse()
 
 	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Seed: *seed}
-	r := exp.NewRunner(p)
+	r := exp.NewRunnerWorkers(p, *workers)
 
 	type figure struct {
 		id    string
@@ -92,7 +94,8 @@ func main() {
 	}
 	start := time.Now()
 	if needMain {
-		fmt.Fprintf(os.Stderr, "reexp: running suite at %dx%d, %d frames...\n", p.Width, p.Height, p.Frames)
+		fmt.Fprintf(os.Stderr, "reexp: running suite at %dx%d, %d frames on %d workers...\n",
+			p.Width, p.Height, p.Frames, *workers)
 		r.Prefetch(exp.SuiteAliases(), []gpusim.Technique{gpusim.Baseline, gpusim.RE, gpusim.TE, gpusim.Memo})
 	}
 
@@ -106,11 +109,14 @@ func main() {
 		if !selected(fig.id) {
 			continue
 		}
+		figStart := time.Now()
 		if fig.text != nil {
 			fmt.Println(fig.text())
+			fmt.Fprintf(os.Stderr, "reexp: fig %s in %s\n", fig.id, time.Since(figStart).Round(time.Millisecond))
 			continue
 		}
 		t := fig.table()
+		fmt.Fprintf(os.Stderr, "reexp: fig %s in %s\n", fig.id, time.Since(figStart).Round(time.Millisecond))
 		t.Fprint(os.Stdout, 3)
 		if *csvDir != "" {
 			f, err := os.Create(fmt.Sprintf("%s/fig%s.csv", *csvDir, fig.id))
@@ -126,5 +132,11 @@ func main() {
 			}
 		}
 	}
+	// Report job elimination the way the simulator reports tile elimination:
+	// figures re-request the same (benchmark, technique) runs, and the pool's
+	// signature cache discards those re-runs before they enter the pipeline.
+	m := r.Pool().Metrics()
+	fmt.Fprintf(os.Stderr, "reexp: jobs %d submitted, %d eliminated (%.1f%%), %d simulated\n",
+		m.Submitted.Load(), m.Deduped.Load(), m.EliminationRatio()*100, m.Completed.Load())
 	fmt.Fprintf(os.Stderr, "reexp: done in %s\n", time.Since(start).Round(time.Millisecond))
 }

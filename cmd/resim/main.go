@@ -46,19 +46,12 @@ func main() {
 
 	cfg := gpusim.DefaultConfig()
 	cfg.RefreshInterval = *refresh
-	switch *tech {
-	case "base":
-		cfg.Technique = gpusim.Baseline
-	case "re":
-		cfg.Technique = gpusim.RE
-	case "te":
-		cfg.Technique = gpusim.TE
-	case "memo":
-		cfg.Technique = gpusim.Memo
-	default:
-		fmt.Fprintf(os.Stderr, "resim: unknown technique %q\n", *tech)
+	technique, err := gpusim.ParseTechnique(*tech)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resim:", err)
 		os.Exit(2)
 	}
+	cfg.Technique = technique
 
 	sim, err := gpusim.New(tr, cfg)
 	if err != nil {

@@ -1,0 +1,107 @@
+// Command resvc is the simulation-job daemon: it serves gpusim runs over
+// HTTP with Rendering Elimination applied at job granularity — a CRC32
+// signature of each job's inputs eliminates re-runs of identical
+// (trace, config) submissions before they enter the worker pool.
+//
+// Usage:
+//
+//	resvc [-addr :8080] [-workers N] [-cache 512] [-timeout 10m] [-retries 2]
+//
+// Endpoints:
+//
+//	POST /jobs        submit a workload spec (JSON) or a trace binary; ?wait=1 blocks
+//	GET  /jobs/{id}   job status and result summary
+//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text: submissions, eliminations, latencies
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rendelim/internal/jobs"
+	"rendelim/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil, make(chan os.Signal, 1), true); err != nil {
+		fmt.Fprintln(os.Stderr, "resvc:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon. ready (if non-nil) receives the bound address once
+// listening; sigs delivers shutdown signals (main installs SIGINT/SIGTERM
+// when installSignals is set). Factored out of main for the e2e test.
+func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals bool) error {
+	fs := flag.NewFlagSet("resvc", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	cacheSize := fs.Int("cache", 512, "LRU result cache entries")
+	timeout := fs.Duration("timeout", 10*time.Minute, "per-job deadline (0 = none)")
+	retries := fs.Int("retries", 2, "transient-failure retries per job")
+	maxBody := fs.Int64("max-body", 64<<20, "max trace upload bytes")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pool := jobs.New(jobs.Options{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Timeout:   *timeout,
+		Retries:   *retries,
+	})
+	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	fmt.Fprintf(os.Stderr, "resvc: listening on %s (%d workers, %d-entry cache)\n",
+		ln.Addr(), pool.Workers(), *cacheSize)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	if installSignals {
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		defer signal.Stop(sigs)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "resvc: %v, draining (budget %s)...\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "resvc: http shutdown:", err)
+	}
+	if err := pool.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "resvc: pool drain:", err)
+	}
+
+	// Report job elimination the way the simulator reports tile elimination.
+	m := pool.Metrics()
+	fmt.Fprintf(os.Stderr, "resvc: jobs %d submitted, %d eliminated (%.1f%%), %d completed, %d failed\n",
+		m.Submitted.Load(), m.Deduped.Load(), m.EliminationRatio()*100,
+		m.Completed.Load(), m.Failed.Load())
+	return nil
+}

@@ -6,40 +6,47 @@
 package exp
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 
 	"rendelim/internal/gpusim"
+	"rendelim/internal/jobs"
 	"rendelim/internal/workload"
 )
 
-// Runner caches simulation results across figures.
+// Runner schedules simulations through a jobs.Pool, so the batch harness
+// and the resvc service share one scheduler: results are cached (and
+// concurrent duplicate requests singleflighted) by the pool's job
+// signature, the same Rendering-Elimination-style dedup the service
+// applies to uploads.
 type Runner struct {
 	Params workload.Params
 
-	mu    sync.Mutex
-	cache map[string]gpusim.Result
+	pool *jobs.Pool
 }
 
-// NewRunner builds a runner at the given workload scale.
+// NewRunner builds a runner at the given workload scale with one worker per
+// CPU.
 func NewRunner(p workload.Params) *Runner {
-	return &Runner{Params: p, cache: make(map[string]gpusim.Result)}
+	return NewRunnerWorkers(p, runtime.GOMAXPROCS(0))
 }
 
-// trace resolves an alias to its builder (suite, extras, or the adversarial
-// hash-ablation workload).
-func (r *Runner) trace(alias string) (*workload.Benchmark, error) {
-	if alias == "adversarial" {
-		b := workload.Benchmark{Alias: alias, Name: "Hash Adversary", Build: workload.Adversarial}
-		return &b, nil
-	}
-	b, err := workload.ByAlias(alias)
-	if err != nil {
-		return nil, err
-	}
-	return &b, nil
+// NewRunnerWorkers bounds the concurrent simulations to workers.
+func NewRunnerWorkers(p workload.Params, workers int) *Runner {
+	// Every (benchmark, technique, variant) of a full reproduction must stay
+	// cached, so size the LRU far above the ~200 runs reexp performs.
+	pool := jobs.New(jobs.Options{Workers: workers, CacheSize: 4096})
+	return NewRunnerPool(p, pool)
 }
+
+// NewRunnerPool builds a runner on an existing pool (shared with a service).
+func NewRunnerPool(p workload.Params, pool *jobs.Pool) *Runner {
+	return &Runner{Params: p, pool: pool}
+}
+
+// Pool exposes the underlying scheduler, e.g. for its elimination metrics.
+func (r *Runner) Pool() *jobs.Pool { return r.pool }
 
 // Config customizes a run beyond the technique (hash scheme, queue depth,
 // memo LUT size, refresh interval). Tag must uniquely identify the variant
@@ -54,63 +61,50 @@ func (r *Runner) Result(alias string, tech gpusim.Technique) gpusim.Result {
 	return r.ResultCfg(alias, tech, Config{})
 }
 
-// ResultCfg returns the (cached) outcome of a customized run.
+// ResultCfg returns the (cached) outcome of a customized run. Concurrent
+// callers with the same key share one execution (the pool's singleflight)
+// instead of each running the full simulation.
 func (r *Runner) ResultCfg(alias string, tech gpusim.Technique, variant Config) gpusim.Result {
-	key := fmt.Sprintf("%s/%s/%s", alias, tech, variant.Tag)
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
-
-	b, err := r.trace(alias)
+	job, err := r.pool.Submit(r.spec(alias, tech, variant))
 	if err != nil {
 		panic(err) // experiment misconfiguration, not a runtime condition
 	}
-	tr := b.Build(r.Params)
-	cfg := gpusim.DefaultConfig()
-	cfg.Technique = tech
-	if variant.Mutate != nil {
-		variant.Mutate(&cfg)
-	}
-	sim, err := gpusim.New(tr, cfg)
+	res, err := job.Wait(context.Background())
 	if err != nil {
 		panic(err)
 	}
-	res := sim.Run()
-
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
 	return res
 }
 
+// spec translates an experiment request into a pool job. The adversarial
+// workload is not a suite alias, so it rides in as an explicit builder.
+func (r *Runner) spec(alias string, tech gpusim.Technique, variant Config) jobs.Spec {
+	s := jobs.Spec{
+		Alias:  alias,
+		Params: r.Params,
+		Tech:   tech,
+		Tag:    variant.Tag,
+		Mutate: variant.Mutate,
+	}
+	if alias == "adversarial" {
+		s.Build = workload.Adversarial
+	}
+	return s
+}
+
 // Prefetch computes the given (alias, technique) pairs in parallel, warming
-// the cache.
+// the pool's result cache. Concurrency is bounded by the pool's workers.
 func (r *Runner) Prefetch(aliases []string, techs []gpusim.Technique) {
-	type job struct {
-		alias string
-		tech  gpusim.Technique
-	}
-	jobs := make(chan job)
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				r.Result(j.alias, j.tech)
-			}
-		}()
-	}
 	for _, a := range aliases {
 		for _, t := range techs {
-			jobs <- job{a, t}
+			wg.Add(1)
+			go func(a string, t gpusim.Technique) {
+				defer wg.Done()
+				r.Result(a, t)
+			}(a, t)
 		}
 	}
-	close(jobs)
 	wg.Wait()
 }
 

@@ -43,6 +43,21 @@ func (t Technique) String() string {
 	return fmt.Sprintf("technique(%d)", uint8(t))
 }
 
+// ParseTechnique is the inverse of String, for flags and request payloads.
+func ParseTechnique(s string) (Technique, error) {
+	switch s {
+	case "base", "baseline":
+		return Baseline, nil
+	case "re":
+		return RE, nil
+	case "te":
+		return TE, nil
+	case "memo":
+		return Memo, nil
+	}
+	return Baseline, fmt.Errorf("unknown technique %q (want base, re, te or memo)", s)
+}
+
 // SkippedStages returns the Raster Pipeline stages the technique bypasses on
 // a redundant tile/fragment, encoding Figure 3.
 func (t Technique) SkippedStages() []string {

@@ -1,0 +1,573 @@
+// Package jobs is the simulation-job service layer: a bounded worker pool
+// that schedules gpusim runs, with Rendering Elimination applied one level
+// up — every job is keyed by a CRC32 signature of its *inputs* (the trace
+// bytes or workload spec, plus the simulation config), and a key match
+// eliminates the whole run, either from the LRU result cache (the previous
+// "frame") or by joining an identical in-flight execution (singleflight).
+// The same pool schedules both the resvc HTTP service and the reexp batch
+// harness, so the service is a live demonstration of the paper's idea:
+// redundant work is discarded before it enters the pipeline.
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rendelim/internal/api"
+	"rendelim/internal/crc"
+	"rendelim/internal/energy"
+	"rendelim/internal/gpusim"
+	"rendelim/internal/trace"
+	"rendelim/internal/workload"
+)
+
+// Spec describes one simulation job. Exactly one input form is used: an
+// uploaded trace binary (TraceBin), a custom builder (Build, keyed by
+// Alias), or a suite benchmark alias resolved via workload.ByAlias.
+type Spec struct {
+	// Alias names the workload; with TraceBin empty and Build nil it is
+	// resolved through workload.ByAlias.
+	Alias  string
+	Params workload.Params
+
+	// TraceBin is an encoded internal/trace binary (untrusted upload).
+	TraceBin []byte
+
+	// Build overrides alias resolution with a custom trace builder; the
+	// Alias string must still uniquely identify it for signing.
+	Build func(workload.Params) *api.Trace
+
+	// Tech selects the technique; Mutate customizes the config further and
+	// Tag must uniquely identify that customization for signing.
+	Tech   gpusim.Technique
+	Tag    string
+	Mutate func(*gpusim.Config)
+}
+
+// Key is a job signature: CRC32 over the job's inputs and CRC32 over its
+// configuration — the (trace signature, config hash) pair of the issue, and
+// the job-level analogue of the per-tile signature of Section III.
+type Key struct {
+	TraceSig uint32
+	CfgHash  uint32
+}
+
+// String renders the key for logs and API payloads.
+func (k Key) String() string { return fmt.Sprintf("%08x-%08x", k.TraceSig, k.CfgHash) }
+
+// Key signs the spec. Uploaded traces are signed over their raw bytes;
+// builder specs over the canonical (alias, params) encoding.
+func (s *Spec) Key() Key {
+	var tsig uint32
+	if len(s.TraceBin) > 0 {
+		tsig = crc.Checksum(s.TraceBin)
+	} else {
+		tsig = crc.Checksum([]byte(fmt.Sprintf("alias:%s/%dx%d/f%d/s%d",
+			s.Alias, s.Params.Width, s.Params.Height, s.Params.Frames, s.Params.Seed)))
+	}
+	cfg := crc.Checksum([]byte(fmt.Sprintf("tech:%s/tag:%s", s.Tech, s.Tag)))
+	return Key{TraceSig: tsig, CfgHash: cfg}
+}
+
+// transientError marks failures worth retrying.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the pool retries it with backoff.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// ErrClosed is returned by Submit after Close has begun draining.
+var ErrClosed = errors.New("jobs: pool closed")
+
+// State is a job's lifecycle position.
+type State int32
+
+// Job states.
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Job is one submission. Deduped jobs share a call with the leader that is
+// (or was) actually simulating.
+type Job struct {
+	ID      string
+	Key     Key
+	Deduped bool // eliminated by signature match: cache hit or in-flight join
+	Created time.Time
+
+	spec  Spec
+	call  *call
+	state atomic.Int32 // mirrors call completion; Running set by worker
+}
+
+// Wait blocks until the job completes (or ctx expires — which abandons the
+// wait, not the execution) and returns the outcome.
+func (j *Job) Wait(ctx context.Context) (gpusim.Result, error) {
+	res, err := j.call.wait(ctx)
+	return res, err
+}
+
+// Done exposes the completion channel for select loops.
+func (j *Job) Done() <-chan struct{} { return j.call.done }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	select {
+	case <-j.call.done:
+		if j.call.err != nil {
+			return Failed
+		}
+		return Done
+	default:
+		return State(j.state.Load())
+	}
+}
+
+// Err returns the terminal error, if the job has failed.
+func (j *Job) Err() error {
+	select {
+	case <-j.call.done:
+		return j.call.err
+	default:
+		return nil
+	}
+}
+
+// Result returns the outcome without blocking; ok is false while the job is
+// still pending.
+func (j *Job) Result() (res gpusim.Result, err error, ok bool) {
+	select {
+	case <-j.call.done:
+		return j.call.result, j.call.err, true
+	default:
+		return gpusim.Result{}, nil, false
+	}
+}
+
+// Cancel aborts the job's execution (and that of every follower sharing it).
+func (j *Job) Cancel() {
+	if j.call.cancel != nil {
+		j.call.cancel()
+	}
+}
+
+// RunFunc executes one job. observe records per-stage latencies into the
+// pool metrics; implementations may ignore it.
+type RunFunc func(ctx context.Context, spec Spec, observe func(stage string, d time.Duration)) (gpusim.Result, error)
+
+// Options configures a Pool. Zero values select the documented defaults.
+type Options struct {
+	Workers    int           // concurrent simulations; default GOMAXPROCS
+	QueueDepth int           // Submit blocks past this many waiting jobs; default 1024
+	CacheSize  int           // LRU result entries; default 512
+	Timeout    time.Duration // per-job deadline; 0 = none
+	Retries    int           // transient-failure retries; default 0
+	Backoff    time.Duration // initial retry backoff (doubles); default 50ms
+	Run        RunFunc       // job executor; default DefaultRun
+}
+
+// Pool is the bounded scheduler: a FIFO queue drained by Workers goroutines,
+// fronted by the signature cache and singleflight dedup.
+type Pool struct {
+	opts    Options
+	metrics *Metrics
+
+	queue  chan *Job
+	sendMu sync.RWMutex // Submit sends under RLock; Close closes queue under Lock
+	wg     sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex // guards cache, registry, ids, closed; ordered before flight.mu
+	cache    *lru
+	flight   *flight
+	reg      map[string]*Job
+	regOrder []string
+	nextID   uint64
+	closed   bool
+}
+
+// registryLimit bounds how many finished jobs stay addressable by ID.
+const registryLimit = 4096
+
+// New builds a pool and starts its workers.
+func New(opts Options) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 512
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	if opts.Run == nil {
+		opts.Run = DefaultRun
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		opts:       opts,
+		metrics:    newMetrics(),
+		queue:      make(chan *Job, opts.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		cache:      newLRU(opts.CacheSize),
+		flight:     newFlight(),
+		reg:        make(map[string]*Job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.opts.Workers }
+
+// Metrics exposes the pool counters.
+func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// CacheLen returns the number of cached results.
+func (p *Pool) CacheLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cache.len()
+}
+
+// Get returns a previously submitted job by ID.
+func (p *Pool) Get(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.reg[id]
+	return j, ok
+}
+
+// Submit schedules spec. Identical submissions are eliminated: a cached
+// result completes the job immediately, an in-flight identical job is
+// joined. Submit blocks only when the queue is full, and fails after Close.
+func (p *Pool) Submit(spec Spec) (*Job, error) {
+	p.metrics.Submitted.Add(1)
+	key := spec.Key()
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j := &Job{
+		ID:      fmt.Sprintf("j-%06d", p.nextID),
+		Key:     key,
+		Created: time.Now(),
+		spec:    spec,
+	}
+	p.nextID++
+
+	// Level-1 elimination: the result cache (the "previous frame").
+	if res, ok := p.cache.get(key); ok {
+		c := newCall(nil, nil)
+		c.finish(res, nil)
+		j.call = c
+		j.Deduped = true
+		p.register(j)
+		p.mu.Unlock()
+		p.metrics.Deduped.Add(1)
+		p.metrics.CacheHits.Add(1)
+		return j, nil
+	}
+
+	// Level-2 elimination: join an identical in-flight job (singleflight).
+	ctx, cancel := context.WithCancel(p.baseCtx)
+	c := newCall(ctx, cancel)
+	if leader := p.flight.join(key, c); leader != nil {
+		cancel()
+		j.call = leader
+		j.Deduped = true
+		p.register(j)
+		p.mu.Unlock()
+		p.metrics.Deduped.Add(1)
+		p.metrics.Joins.Add(1)
+		return j, nil
+	}
+
+	// This job is the leader: queue it for a worker.
+	j.call = c
+	p.register(j)
+	p.mu.Unlock()
+	p.metrics.queueLen.Add(1)
+
+	p.sendMu.RLock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		// Raced with Close after registering as leader: fail the call so
+		// any follower that joined it is released too.
+		p.sendMu.RUnlock()
+		p.metrics.queueLen.Add(-1)
+		p.mu.Lock()
+		p.flight.forget(key)
+		p.mu.Unlock()
+		cancel()
+		c.finish(gpusim.Result{}, ErrClosed)
+		return nil, ErrClosed
+	}
+	p.queue <- j
+	p.sendMu.RUnlock()
+	return j, nil
+}
+
+// register indexes the job by ID; caller holds p.mu.
+func (p *Pool) register(j *Job) {
+	p.reg[j.ID] = j
+	p.regOrder = append(p.regOrder, j.ID)
+	for len(p.regOrder) > registryLimit {
+		old := p.regOrder[0]
+		if oj, ok := p.reg[old]; ok {
+			if oj.State() == Queued || oj.State() == Running {
+				break // never drop a live job; registry shrinks once it finishes
+			}
+			delete(p.reg, old)
+		}
+		p.regOrder = p.regOrder[1:]
+	}
+}
+
+// Close drains the pool: no new submissions, queued and running jobs finish.
+// When ctx expires first, outstanding executions are cancelled and ctx.Err
+// is returned.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.sendMu.Lock()
+	close(p.queue)
+	p.sendMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.execute(j)
+	}
+}
+
+func (p *Pool) execute(j *Job) {
+	p.metrics.queueLen.Add(-1)
+	p.metrics.ObserveStage(StageQueue, time.Since(j.Created).Seconds())
+	p.metrics.Running.Add(1)
+	j.state.Store(int32(Running))
+
+	// The call context already chains pool shutdown and Job.Cancel; the
+	// per-job timeout stacks on top.
+	ctx := j.call.ctx
+	var timeoutCancel context.CancelFunc
+	if p.opts.Timeout > 0 {
+		ctx, timeoutCancel = context.WithTimeout(ctx, p.opts.Timeout)
+	}
+
+	res, err := p.runWithRetry(ctx, j.spec)
+	if timeoutCancel != nil {
+		timeoutCancel()
+	}
+	p.metrics.Running.Add(-1)
+
+	p.mu.Lock()
+	if err == nil {
+		p.cache.put(j.Key, res)
+	}
+	p.flight.forget(j.Key)
+	p.mu.Unlock()
+
+	if err == nil {
+		p.metrics.Completed.Add(1)
+	} else {
+		p.metrics.Failed.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			p.metrics.Timeouts.Add(1)
+		}
+	}
+	j.call.finish(res, err)
+	if j.call.cancel != nil {
+		j.call.cancel() // release the context chained off baseCtx
+	}
+}
+
+func (p *Pool) runWithRetry(ctx context.Context, spec Spec) (gpusim.Result, error) {
+	observe := func(stage string, d time.Duration) { p.metrics.ObserveStage(stage, d.Seconds()) }
+	backoff := p.opts.Backoff
+	var res gpusim.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = p.runOnce(ctx, spec, observe)
+		if err == nil || attempt >= p.opts.Retries || !IsTransient(err) || ctx.Err() != nil {
+			return res, err
+		}
+		p.metrics.Retries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return res, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// runOnce executes the RunFunc with panic containment: a panicking
+// simulation fails its job, never the worker.
+func (p *Pool) runOnce(ctx context.Context, spec Spec, observe func(string, time.Duration)) (res gpusim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: run panicked: %v", r)
+		}
+	}()
+	return p.opts.Run(ctx, spec, observe)
+}
+
+// DefaultRun builds the trace (decode upload, custom builder, or suite
+// alias), then simulates frame by frame, honoring ctx between frames so
+// timeouts and cancellation interrupt long runs.
+func DefaultRun(ctx context.Context, spec Spec, observe func(stage string, d time.Duration)) (gpusim.Result, error) {
+	buildStart := time.Now()
+	var tr *api.Trace
+	switch {
+	case len(spec.TraceBin) > 0:
+		var err error
+		tr, err = trace.Decode(bytes.NewReader(spec.TraceBin))
+		if err != nil {
+			return gpusim.Result{}, fmt.Errorf("jobs: %w", err)
+		}
+	case spec.Build != nil:
+		tr = spec.Build(spec.Params)
+	default:
+		b, err := workload.ByAlias(spec.Alias)
+		if err != nil {
+			return gpusim.Result{}, err
+		}
+		tr = b.Build(spec.Params)
+	}
+	cfg := gpusim.DefaultConfig()
+	cfg.Technique = spec.Tech
+	if spec.Mutate != nil {
+		spec.Mutate(&cfg)
+	}
+	sim, err := gpusim.New(tr, cfg)
+	if err != nil {
+		return gpusim.Result{}, err
+	}
+	observe(StageBuild, time.Since(buildStart))
+
+	simStart := time.Now()
+	res := gpusim.Result{Technique: cfg.Technique, Name: tr.Name}
+	res.Frames = make([]gpusim.Stats, 0, len(tr.Frames))
+	for i := range tr.Frames {
+		if err := ctx.Err(); err != nil {
+			return gpusim.Result{}, err
+		}
+		fs := sim.RunFrame(&tr.Frames[i])
+		res.Frames = append(res.Frames, fs)
+		res.Total.Add(fs)
+	}
+	observe(StageSimulate, time.Since(simStart))
+	return res, nil
+}
+
+// ResultSummary is the JSON-friendly digest of a run the service returns —
+// including the tile-elimination rate, so the per-job skip fraction and the
+// service's job-elimination ratio read the same way.
+type ResultSummary struct {
+	Name      string `json:"name"`
+	Technique string `json:"technique"`
+	Frames    int    `json:"frames"`
+
+	Cycles         uint64 `json:"cycles"`
+	GeometryCycles uint64 `json:"geometry_cycles"`
+	RasterCycles   uint64 `json:"raster_cycles"`
+
+	TilesTotal       uint64  `json:"tiles_total"`
+	TilesSkipped     uint64  `json:"tiles_skipped"`
+	TileSkipFraction float64 `json:"tile_skip_fraction"`
+
+	FragsShaded uint64  `json:"frags_shaded"`
+	DRAMBytes   uint64  `json:"dram_bytes"`
+	EnergyMJ    float64 `json:"energy_mj"`
+}
+
+// Summarize digests a run result.
+func Summarize(res gpusim.Result) ResultSummary {
+	t := res.Total
+	eb := energy.Default().Compute(t.Activity)
+	return ResultSummary{
+		Name:             res.Name,
+		Technique:        res.Technique.String(),
+		Frames:           len(res.Frames),
+		Cycles:           t.TotalCycles(),
+		GeometryCycles:   t.GeometryCycles,
+		RasterCycles:     t.RasterCycles,
+		TilesTotal:       t.TilesTotal,
+		TilesSkipped:     t.TilesSkipped,
+		TileSkipFraction: t.SkipFraction(),
+		FragsShaded:      t.FragsShaded,
+		DRAMBytes:        t.TotalTraffic(),
+		EnergyMJ:         eb.Total() * 1e3,
+	}
+}

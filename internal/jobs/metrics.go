@@ -1,0 +1,125 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rendelim/internal/stats"
+)
+
+// Stage names for the per-stage latency histograms.
+const (
+	StageQueue    = "queue"    // submission -> worker pickup
+	StageBuild    = "build"    // trace decode / workload synthesis
+	StageSimulate = "simulate" // gpusim run
+)
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Metrics aggregates pool counters for the /metrics endpoint. Counters are
+// atomics; histograms are mutex-guarded stats.Histograms.
+type Metrics struct {
+	Submitted atomic.Uint64 // every Submit call
+	Deduped   atomic.Uint64 // eliminated jobs: cache hits + in-flight joins
+	Completed atomic.Uint64 // executions that produced a result
+	Failed    atomic.Uint64 // executions that exhausted retries or timed out
+	CacheHits atomic.Uint64 // result served straight from the LRU
+	Joins     atomic.Uint64 // attached to an in-flight identical job
+	Retries   atomic.Uint64 // transient-failure re-executions
+	Timeouts  atomic.Uint64 // per-job deadline expiries
+	Running   atomic.Int64  // jobs currently executing
+	queueLen  atomic.Int64  // jobs submitted but not yet picked up
+
+	mu    sync.Mutex
+	hists map[string]*stats.Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{hists: make(map[string]*stats.Histogram)}
+}
+
+// ObserveStage records one stage latency in seconds.
+func (m *Metrics) ObserveStage(stage string, seconds float64) {
+	m.mu.Lock()
+	h, ok := m.hists[stage]
+	if !ok {
+		h = stats.NewHistogram(latencyBuckets...)
+		m.hists[stage] = h
+	}
+	h.Observe(seconds)
+	m.mu.Unlock()
+}
+
+// EliminationRatio is deduped/submitted — the job-level analogue of the
+// tile SkipFraction internal/core reports.
+func (m *Metrics) EliminationRatio() float64 {
+	sub := m.Submitted.Load()
+	if sub == 0 {
+		return 0
+	}
+	return float64(m.Deduped.Load()) / float64(sub)
+}
+
+// CacheHitRatio is cache hits over cache lookups (hits + misses). A lookup
+// happens on every submission that is not an in-flight join.
+func (m *Metrics) CacheHitRatio() float64 {
+	hits := m.CacheHits.Load()
+	lookups := m.Submitted.Load() - m.Joins.Load()
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// QueueDepth returns the number of submitted-but-not-running jobs.
+func (m *Metrics) QueueDepth() int64 { return m.queueLen.Load() }
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (hand-rolled; the repo is stdlib-only).
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gaugeI := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("resvc_jobs_submitted_total", "Jobs submitted to the pool.", m.Submitted.Load())
+	counter("resvc_jobs_deduped_total", "Jobs eliminated by signature match (cache hit or in-flight join).", m.Deduped.Load())
+	counter("resvc_jobs_completed_total", "Job executions that produced a result.", m.Completed.Load())
+	counter("resvc_jobs_failed_total", "Job executions that failed permanently.", m.Failed.Load())
+	counter("resvc_jobs_cache_hits_total", "Jobs served straight from the LRU result cache.", m.CacheHits.Load())
+	counter("resvc_jobs_inflight_joins_total", "Jobs attached to an identical in-flight execution.", m.Joins.Load())
+	counter("resvc_jobs_retries_total", "Transient-failure re-executions.", m.Retries.Load())
+	counter("resvc_jobs_timeouts_total", "Jobs that hit their per-job deadline.", m.Timeouts.Load())
+	gaugeF("resvc_job_elimination_ratio", "Fraction of submitted jobs eliminated without simulating (cf. tile skip fraction).", m.EliminationRatio())
+	gaugeF("resvc_cache_hit_ratio", "LRU result cache hit ratio.", m.CacheHitRatio())
+	gaugeI("resvc_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth())
+	gaugeI("resvc_jobs_running", "Jobs currently executing.", m.Running.Load())
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.hists))
+	for name := range m.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	const hname = "resvc_stage_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-stage job latency.\n# TYPE %s histogram\n", hname, hname)
+	for _, name := range names {
+		h := m.hists[name]
+		for i, b := range h.Bounds() {
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"%g\"} %d\n", hname, name, b, h.Cumulative(i))
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", hname, name, h.Count())
+		fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", hname, name, h.Sum())
+		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", hname, name, h.Count())
+	}
+	m.mu.Unlock()
+}

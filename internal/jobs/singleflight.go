@@ -1,0 +1,75 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+
+	"rendelim/internal/gpusim"
+)
+
+// call is one in-flight execution shared by every job whose key matched
+// while it ran — the singleflight primitive. The leader goroutine runs the
+// simulation once; followers block on done and read the shared outcome.
+type call struct {
+	done   chan struct{}
+	ctx    context.Context // execution context; Job.Cancel cancels it
+	cancel context.CancelFunc
+
+	// Written once before done is closed, read-only after.
+	result gpusim.Result
+	err    error
+}
+
+func newCall(ctx context.Context, cancel context.CancelFunc) *call {
+	return &call{done: make(chan struct{}), ctx: ctx, cancel: cancel}
+}
+
+// finish publishes the outcome and releases every waiter.
+func (c *call) finish(res gpusim.Result, err error) {
+	c.result = res
+	c.err = err
+	close(c.done)
+}
+
+// wait blocks until the call completes or ctx expires. A ctx expiry does not
+// cancel the underlying execution: other followers may still want it.
+func (c *call) wait(ctx context.Context) (gpusim.Result, error) {
+	select {
+	case <-c.done:
+		return c.result, c.err
+	case <-ctx.Done():
+		return gpusim.Result{}, ctx.Err()
+	}
+}
+
+// flight tracks in-flight calls by key so duplicate submissions attach to
+// the running leader instead of recomputing (cf. the Signature Buffer match
+// that lets a tile skip the Raster Pipeline).
+type flight struct {
+	mu    sync.Mutex
+	calls map[Key]*call
+}
+
+func newFlight() *flight {
+	return &flight{calls: make(map[Key]*call)}
+}
+
+// join returns the in-flight call for key, or registers c as the new leader
+// and returns nil.
+func (f *flight) join(key Key, c *call) *call {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if existing, ok := f.calls[key]; ok {
+		return existing
+	}
+	f.calls[key] = c
+	return nil
+}
+
+// forget removes a completed call; later submissions of the same key hit the
+// result cache or start fresh.
+func (f *flight) forget(key Key) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+}

@@ -1,0 +1,283 @@
+// Package server exposes the jobs pool over HTTP: POST /jobs submits a
+// workload spec (JSON) or an uploaded internal/trace binary, GET /jobs/{id}
+// reports status and results, GET /healthz liveness, and GET /metrics the
+// Prometheus-text pool counters — including the job-elimination ratio, the
+// service-level twin of the paper's tile skip fraction.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rendelim/internal/gpusim"
+	"rendelim/internal/jobs"
+	"rendelim/internal/trace"
+	"rendelim/internal/workload"
+)
+
+// Limits bound untrusted inputs.
+type Limits struct {
+	MaxBodyBytes  int64 // trace upload size; default 64 MiB
+	MaxPixels     int   // Width*Height; default 4096*4096
+	MaxFrames     int   // default 1000
+	MaxWaitableMS int64 // cap on ?wait deadline; default 10 minutes
+}
+
+func (l *Limits) setDefaults() {
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = 64 << 20
+	}
+	if l.MaxPixels <= 0 {
+		l.MaxPixels = 4096 * 4096
+	}
+	if l.MaxFrames <= 0 {
+		l.MaxFrames = 1000
+	}
+	if l.MaxWaitableMS <= 0 {
+		l.MaxWaitableMS = 10 * 60 * 1000
+	}
+}
+
+// Server routes HTTP requests to a jobs.Pool.
+type Server struct {
+	pool   *jobs.Pool
+	limits Limits
+	start  time.Time
+
+	requests atomic.Uint64
+}
+
+// New wraps pool; zero limits select defaults.
+func New(pool *jobs.Pool, limits Limits) *Server {
+	limits.setDefaults()
+	return &Server{pool: pool, limits: limits, start: time.Now()}
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJobByID)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// SubmitRequest is the JSON body of POST /jobs for workload-spec jobs.
+type SubmitRequest struct {
+	Alias  string `json:"alias"`
+	Tech   string `json:"tech"`             // base | re | te | memo; default re
+	Width  int    `json:"width,omitempty"`  // default 480
+	Height int    `json:"height,omitempty"` // default 272
+	Frames int    `json:"frames,omitempty"` // default 50
+	Seed   int64  `json:"seed,omitempty"`   // default 1
+	Tag    string `json:"tag,omitempty"`
+}
+
+// JobResponse is the JSON shape of POST /jobs and GET /jobs/{id}.
+type JobResponse struct {
+	ID       string              `json:"id"`
+	Key      string              `json:"key"` // trace-signature/config-hash pair
+	State    string              `json:"state"`
+	Deduped  bool                `json:"deduped"` // eliminated by signature match
+	Error    string              `json:"error,omitempty"`
+	Result   *jobs.ResultSummary `json:"result,omitempty"`
+	Detail   string              `json:"detail,omitempty"`
+	Location string              `json:"location,omitempty"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	var spec jobs.Spec
+	var err error
+	switch {
+	case strings.HasPrefix(ct, "application/json"), ct == "":
+		spec, err = s.specFromJSON(r)
+	default: // binary trace upload (application/octet-stream or similar)
+		spec, err = s.specFromTrace(r)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	job, err := s.pool.Submit(spec)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+
+	status := http.StatusAccepted
+	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" && wait != "false" {
+		ctx, cancel := timeoutCtx(r, s.limits.MaxWaitableMS)
+		defer cancel()
+		job.Wait(ctx)
+	}
+	resp := s.jobResponse(job)
+	if resp.State == "done" || resp.State == "failed" {
+		status = http.StatusOK
+	}
+	resp.Location = "/jobs/" + job.ID
+	writeJSON(w, status, resp)
+}
+
+// specFromJSON parses a workload-spec submission.
+func (s *Server) specFromJSON(r *http.Request) (jobs.Spec, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return jobs.Spec{}, fmt.Errorf("read body: %w", err)
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return jobs.Spec{}, fmt.Errorf("bad JSON: %w", err)
+	}
+	if req.Alias == "" {
+		return jobs.Spec{}, fmt.Errorf("missing alias")
+	}
+	if _, err := workload.ByAlias(req.Alias); err != nil {
+		return jobs.Spec{}, err
+	}
+	if req.Tech == "" {
+		req.Tech = "re"
+	}
+	tech, err := gpusim.ParseTechnique(req.Tech)
+	if err != nil {
+		return jobs.Spec{}, err
+	}
+	p := workload.DefaultParams()
+	if req.Width > 0 {
+		p.Width = req.Width
+	}
+	if req.Height > 0 {
+		p.Height = req.Height
+	}
+	if req.Frames > 0 {
+		p.Frames = req.Frames
+	}
+	if req.Seed != 0 {
+		p.Seed = req.Seed
+	}
+	if p.Width*p.Height > s.limits.MaxPixels {
+		return jobs.Spec{}, fmt.Errorf("resolution %dx%d over limit", p.Width, p.Height)
+	}
+	if p.Frames > s.limits.MaxFrames {
+		return jobs.Spec{}, fmt.Errorf("frames %d over limit %d", p.Frames, s.limits.MaxFrames)
+	}
+	return jobs.Spec{Alias: req.Alias, Params: p, Tech: tech, Tag: req.Tag}, nil
+}
+
+// specFromTrace validates a binary trace upload. The raw bytes become the
+// job's signature input; technique and tag come from query parameters.
+func (s *Server) specFromTrace(r *http.Request) (jobs.Spec, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.limits.MaxBodyBytes+1))
+	if err != nil {
+		return jobs.Spec{}, fmt.Errorf("read body: %w", err)
+	}
+	if int64(len(body)) > s.limits.MaxBodyBytes {
+		return jobs.Spec{}, fmt.Errorf("trace over %d-byte limit", s.limits.MaxBodyBytes)
+	}
+	tr, err := trace.Decode(bytes.NewReader(body))
+	if err != nil {
+		return jobs.Spec{}, err
+	}
+	if tr.Width*tr.Height > s.limits.MaxPixels {
+		return jobs.Spec{}, fmt.Errorf("trace resolution %dx%d over limit", tr.Width, tr.Height)
+	}
+	if len(tr.Frames) > s.limits.MaxFrames {
+		return jobs.Spec{}, fmt.Errorf("trace frame count %d over limit %d", len(tr.Frames), s.limits.MaxFrames)
+	}
+	techStr := r.URL.Query().Get("tech")
+	if techStr == "" {
+		techStr = "re"
+	}
+	tech, err := gpusim.ParseTechnique(techStr)
+	if err != nil {
+		return jobs.Spec{}, err
+	}
+	return jobs.Spec{TraceBin: body, Tech: tech, Tag: r.URL.Query().Get("tag")}, nil
+}
+
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	job, ok := s.pool.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" && wait != "false" {
+		ctx, cancel := timeoutCtx(r, s.limits.MaxWaitableMS)
+		defer cancel()
+		job.Wait(ctx)
+	}
+	writeJSON(w, http.StatusOK, s.jobResponse(job))
+}
+
+func (s *Server) jobResponse(j *jobs.Job) JobResponse {
+	resp := JobResponse{
+		ID:      j.ID,
+		Key:     j.Key.String(),
+		State:   j.State().String(),
+		Deduped: j.Deduped,
+	}
+	if res, err, ok := j.Result(); ok {
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			sum := jobs.Summarize(res)
+			resp.Result = &sum
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"workers":     s.pool.Workers(),
+		"queue_depth": s.pool.Metrics().QueueDepth(),
+		"uptime_sec":  int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.pool.Metrics().WritePrometheus(w)
+	fmt.Fprintf(w, "# HELP resvc_http_requests_total HTTP requests served.\n# TYPE resvc_http_requests_total counter\nresvc_http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# HELP resvc_result_cache_entries Cached simulation results.\n# TYPE resvc_result_cache_entries gauge\nresvc_result_cache_entries %d\n", s.pool.CacheLen())
+}
+
+// timeoutCtx bounds a ?wait request by the request context and the
+// server-wide cap.
+func timeoutCtx(r *http.Request, maxMS int64) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), time.Duration(maxMS)*time.Millisecond)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

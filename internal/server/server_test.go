@@ -1,0 +1,289 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rendelim/internal/jobs"
+	"rendelim/internal/trace"
+	"rendelim/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *jobs.Pool) {
+	t.Helper()
+	pool := jobs.New(jobs.Options{Workers: 2, CacheSize: 32})
+	t.Cleanup(func() { pool.Close(context.Background()) })
+	srv := httptest.NewServer(New(pool, Limits{}).Handler())
+	t.Cleanup(srv.Close)
+	return srv, pool
+}
+
+func postJSON(t *testing.T, url string, body string) (int, JobResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResponse
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("bad response %s: %v", raw, err)
+	}
+	return resp.StatusCode, jr
+}
+
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.eE+-]+)$`)
+	m := re.FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, raw)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The acceptance scenario: POST the same spec twice; the second submission
+// is eliminated by the signature cache — no re-simulation, identical result
+// payload, and jobs_deduped_total ticks up.
+func TestEndToEndJobElimination(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := `{"alias": "ccs", "tech": "re", "width": 96, "height": 64, "frames": 3}`
+
+	code1, jr1 := postJSON(t, srv.URL+"/jobs?wait=1", body)
+	if code1 != http.StatusOK {
+		t.Fatalf("first POST: status %d (%+v)", code1, jr1)
+	}
+	if jr1.State != "done" || jr1.Result == nil {
+		t.Fatalf("first job not done: %+v", jr1)
+	}
+	if jr1.Deduped {
+		t.Error("first submission must not be deduped")
+	}
+
+	code2, jr2 := postJSON(t, srv.URL+"/jobs?wait=1", body)
+	if code2 != http.StatusOK {
+		t.Fatalf("second POST: status %d", code2)
+	}
+	if !jr2.Deduped {
+		t.Error("second identical submission not eliminated")
+	}
+	if jr1.Key != jr2.Key {
+		t.Errorf("keys differ: %s vs %s", jr1.Key, jr2.Key)
+	}
+	if jr1.ID == jr2.ID {
+		t.Error("submissions must get distinct job IDs")
+	}
+	r1, _ := json.Marshal(jr1.Result)
+	r2, _ := json.Marshal(jr2.Result)
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("result payloads differ:\n%s\n%s", r1, r2)
+	}
+
+	if v := metricValue(t, srv.URL, "resvc_jobs_deduped_total"); v < 1 {
+		t.Errorf("resvc_jobs_deduped_total = %v, want >= 1", v)
+	}
+	if v := metricValue(t, srv.URL, "resvc_jobs_completed_total"); v != 1 {
+		t.Errorf("resvc_jobs_completed_total = %v, want 1 (second run eliminated)", v)
+	}
+	if v := metricValue(t, srv.URL, "resvc_job_elimination_ratio"); v != 0.5 {
+		t.Errorf("resvc_job_elimination_ratio = %v, want 0.5", v)
+	}
+
+	// A different technique must NOT be eliminated (config hash differs).
+	_, jr3 := postJSON(t, srv.URL+"/jobs?wait=1", `{"alias": "ccs", "tech": "base", "width": 96, "height": 64, "frames": 3}`)
+	if jr3.Deduped {
+		t.Error("different config wrongly eliminated")
+	}
+}
+
+func TestTraceUpload(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	b, err := workload.ByAlias("ccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Build(workload.Params{Width: 96, Height: 64, Frames: 2, Seed: 1})
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	post := func() (int, JobResponse) {
+		resp, err := http.Post(srv.URL+"/jobs?wait=1&tech=re", "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jr JobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, jr
+	}
+	code, jr := post()
+	if code != http.StatusOK || jr.State != "done" || jr.Result == nil {
+		t.Fatalf("upload run failed: %d %+v", code, jr)
+	}
+	if jr.Result.Frames != 2 || jr.Result.TilesTotal == 0 {
+		t.Errorf("implausible result %+v", jr.Result)
+	}
+	// Identical bytes -> identical trace signature -> eliminated.
+	_, jr2 := post()
+	if !jr2.Deduped {
+		t.Error("identical trace upload not eliminated")
+	}
+
+	// Malformed upload must 400, not crash.
+	resp, err := http.Post(srv.URL+"/jobs", "application/octet-stream", bytes.NewReader(raw[:37]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated trace: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestJobStatusEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	_, jr := postJSON(t, srv.URL+"/jobs", `{"alias": "cde", "width": 96, "height": 64, "frames": 2}`)
+	if jr.ID == "" || jr.Location != "/jobs/"+jr.ID {
+		t.Fatalf("bad submit response %+v", jr)
+	}
+
+	resp, err := http.Get(srv.URL + jr.Location + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != jr.ID || got.State != "done" || got.Result == nil {
+		t.Errorf("status: %+v", got)
+	}
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/jobs/j-999999", http.StatusNotFound},
+		{"/jobs/", http.StatusNotFound},
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, pool := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != pool.Workers() {
+		t.Errorf("healthz payload %+v", h)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		do   func() (*http.Response, error)
+		want int
+	}{
+		{"GET /jobs", func() (*http.Response, error) { return http.Get(srv.URL + "/jobs") }, http.StatusMethodNotAllowed},
+		{"bad JSON", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{"))
+		}, http.StatusBadRequest},
+		{"missing alias", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{}"))
+		}, http.StatusBadRequest},
+		{"unknown alias", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"alias": "nope"}`))
+		}, http.StatusBadRequest},
+		{"unknown tech", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"alias": "ccs", "tech": "quantum"}`))
+		}, http.StatusBadRequest},
+		{"over-limit resolution", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"alias": "ccs", "width": 100000, "height": 100000}`))
+		}, http.StatusBadRequest},
+		{"over-limit frames", func() (*http.Response, error) {
+			return http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"alias": "ccs", "frames": 100000}`))
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// The async path: POST without wait returns 202 and the job converges via
+// polling GET /jobs/{id}.
+func TestAsyncSubmit(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, jr := postJSON(t, srv.URL+"/jobs", `{"alias": "ctr", "width": 96, "height": 64, "frames": 2}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("async POST: status %d", code)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s?wait=1", srv.URL, jr.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "done" {
+		t.Errorf("job state %q after wait", got.State)
+	}
+}

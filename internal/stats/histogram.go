@@ -1,0 +1,49 @@
+package stats
+
+import "sort"
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus style:
+// each bucket counts observations less than or equal to its upper bound, and
+// an implicit +Inf bucket counts everything. It is not safe for concurrent
+// use; wrap it in a mutex when observing from multiple goroutines.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []uint64  // per-bucket (non-cumulative) counts; len = len(bounds)+1
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram builds a histogram over the given upper bounds (sorted
+// ascending; an +Inf overflow bucket is implicit).
+func NewHistogram(bounds ...float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Bounds returns the finite upper bounds.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative returns the cumulative count of observations <= the i-th bound;
+// i == len(Bounds()) yields the +Inf bucket (== Count()).
+func (h *Histogram) Cumulative(i int) uint64 {
+	var c uint64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		c += h.counts[j]
+	}
+	return c
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }

@@ -140,6 +140,19 @@ func (r *reader) vec4() geom.Vec4 {
 	return geom.Vec4{X: r.f32(), Y: r.f32(), Z: r.f32(), W: r.f32()}
 }
 
+// capHint bounds slice preallocation from an untrusted length field: a
+// hostile header can claim millions of elements while carrying none, so
+// never allocate more than maxPrealloc up front — append grows the slice if
+// the elements actually arrive.
+const maxPrealloc = 4096
+
+func capHint(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
 // Encode writes tr to w.
 func Encode(out io.Writer, tr *api.Trace) error {
 	w := &writer{w: bufio.NewWriter(out)}
@@ -206,7 +219,7 @@ func Decode(in io.Reader) (*api.Trace, error) {
 		}
 		var f api.Frame
 		if nc > 0 {
-			f.Commands = make([]api.Command, 0, nc)
+			f.Commands = make([]api.Command, 0, capHint(nc))
 		}
 		for c := 0; c < nc && r.err == nil; c++ {
 			f.Commands = append(f.Commands, decodeCommand(r))
@@ -365,7 +378,7 @@ func decodeCommand(r *reader) api.Command {
 			r.fail("implausible draw size %d", n)
 			return c
 		}
-		c.Data = make([]geom.Vec4, 0, n)
+		c.Data = make([]geom.Vec4, 0, capHint(n))
 		for i := 0; i < n && r.err == nil; i++ {
 			c.Data = append(c.Data, r.vec4())
 		}
@@ -375,7 +388,7 @@ func decodeCommand(r *reader) api.Command {
 			return c
 		}
 		if ni > 0 {
-			c.Indices = make([]uint16, 0, ni)
+			c.Indices = make([]uint16, 0, capHint(ni))
 			for i := 0; i < ni && r.err == nil; i++ {
 				c.Indices = append(c.Indices, r.u16())
 			}
