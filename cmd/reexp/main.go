@@ -5,10 +5,16 @@
 // Usage:
 //
 //	reexp [-width 480] [-height 272] [-frames 50] [-seed 1] [-figs all] [-workers N]
+//	      [-tracefile out.trace.json] [-cpuprofile cpu.pprof] [-log-level info]
 //
 // -figs takes a comma-separated subset of:
 //
 //	1 2 t1 t2 14a 14b 15a 15b 16 17a 17b overhead hash otq memolut refresh binning subblock
+//
+// -tracefile records every distinct simulation of the run (one track per
+// (benchmark, technique) pair) as a Chrome trace-event timeline for
+// Perfetto/chrome://tracing; -cpuprofile records a Go CPU profile of the
+// harness itself.
 package main
 
 import (
@@ -16,27 +22,63 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"rendelim/internal/exp"
 	"rendelim/internal/gpusim"
+	"rendelim/internal/obs"
 	"rendelim/internal/stats"
 	"rendelim/internal/workload"
 )
 
 func main() {
-	width := flag.Int("width", 480, "screen width in pixels")
-	height := flag.Int("height", 272, "screen height in pixels")
-	frames := flag.Int("frames", 50, "frames per benchmark")
-	seed := flag.Int64("seed", 1, "workload seed")
-	figs := flag.String("figs", "all", "comma-separated figure list or 'all'")
-	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reexp", flag.ContinueOnError)
+	width := fs.Int("width", 480, "screen width in pixels")
+	height := fs.Int("height", 272, "screen height in pixels")
+	frames := fs.Int("frames", 50, "frames per benchmark")
+	seed := fs.Int64("seed", 1, "workload seed")
+	figs := fs.String("figs", "all", "comma-separated figure list or 'all'")
+	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	tracefile := fs.String("tracefile", "", "write a Chrome trace-event pipeline timeline to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a Go CPU profile to this file")
+	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := obs.Setup(*logLevel, "")
+	if err != nil {
+		return err
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Seed: *seed}
 	r := exp.NewRunnerWorkers(p, *workers)
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.NewTracer()
+		r.SetTracer(tracer)
+	}
 
 	type figure struct {
 		id    string
@@ -77,8 +119,7 @@ func main() {
 				}
 			}
 			if !found {
-				fmt.Fprintf(os.Stderr, "reexp: unknown figure %q\n", f)
-				os.Exit(2)
+				return fmt.Errorf("unknown figure %q", f)
 			}
 		}
 	}
@@ -94,15 +135,14 @@ func main() {
 	}
 	start := time.Now()
 	if needMain {
-		fmt.Fprintf(os.Stderr, "reexp: running suite at %dx%d, %d frames on %d workers...\n",
-			p.Width, p.Height, p.Frames, *workers)
+		log.Info("running suite", "width", p.Width, "height", p.Height,
+			"frames", p.Frames, "workers", *workers)
 		r.Prefetch(exp.SuiteAliases(), []gpusim.Technique{gpusim.Baseline, gpusim.RE, gpusim.TE, gpusim.Memo})
 	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "reexp:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	for _, fig := range all {
@@ -112,11 +152,11 @@ func main() {
 		figStart := time.Now()
 		if fig.text != nil {
 			fmt.Println(fig.text())
-			fmt.Fprintf(os.Stderr, "reexp: fig %s in %s\n", fig.id, time.Since(figStart).Round(time.Millisecond))
+			log.Info("figure done", "fig", fig.id, "elapsed", time.Since(figStart).Round(time.Millisecond))
 			continue
 		}
 		t := fig.table()
-		fmt.Fprintf(os.Stderr, "reexp: fig %s in %s\n", fig.id, time.Since(figStart).Round(time.Millisecond))
+		log.Info("figure done", "fig", fig.id, "elapsed", time.Since(figStart).Round(time.Millisecond))
 		t.Fprint(os.Stdout, 3)
 		if *csvDir != "" {
 			f, err := os.Create(fmt.Sprintf("%s/fig%s.csv", *csvDir, fig.id))
@@ -127,16 +167,24 @@ func main() {
 				}
 			}
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "reexp:", err)
-				os.Exit(1)
+				return err
 			}
 		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracefile); err != nil {
+			return err
+		}
+		log.Info("pipeline trace written", "file", *tracefile, "events", tracer.Len())
 	}
 	// Report job elimination the way the simulator reports tile elimination:
 	// figures re-request the same (benchmark, technique) runs, and the pool's
 	// signature cache discards those re-runs before they enter the pipeline.
 	m := r.Pool().Metrics()
-	fmt.Fprintf(os.Stderr, "reexp: jobs %d submitted, %d eliminated (%.1f%%), %d simulated\n",
-		m.Submitted.Load(), m.Deduped.Load(), m.EliminationRatio()*100, m.Completed.Load())
-	fmt.Fprintf(os.Stderr, "reexp: done in %s\n", time.Since(start).Round(time.Millisecond))
+	log.Info("jobs summary", "submitted", m.Submitted.Load(),
+		"eliminated", m.Deduped.Load(),
+		"elimination_ratio", fmt.Sprintf("%.3f", m.EliminationRatio()),
+		"simulated", m.Completed.Load())
+	log.Info("done", "elapsed", time.Since(start).Round(time.Millisecond))
+	return nil
 }

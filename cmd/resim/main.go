@@ -5,110 +5,160 @@
 // Usage:
 //
 //	resim -trace traces/ccs.rdlm [-tech base|re|te|memo] [-v]
+//	      [-tracefile out.trace.json] [-cpuprofile cpu.pprof] [-log-level info]
+//
+// -tracefile records a per-frame, per-pipeline-stage timeline in Chrome
+// trace-event JSON; open it in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. -cpuprofile records a Go CPU profile of the simulator
+// itself for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
+	"runtime/pprof"
 
 	"rendelim/internal/api"
 	"rendelim/internal/energy"
 	"rendelim/internal/fb"
 	"rendelim/internal/gpusim"
+	"rendelim/internal/obs"
 	"rendelim/internal/trace"
 )
 
 func main() {
-	path := flag.String("trace", "", "trace file (required)")
-	tech := flag.String("tech", "re", "technique: base, re, te, memo")
-	refresh := flag.Int("refresh", 0, "RE periodic refresh interval (0 = off)")
-	verbose := flag.Bool("v", false, "print per-frame statistics")
-	heatmap := flag.String("heatmap", "", "write a PGM skip heat-map to this file (RE only)")
-	dump := flag.String("dump", "", "write rendered frames as PNGs into this directory")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "resim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, factored out of main so tests can drive it.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("resim", flag.ContinueOnError)
+	path := fs.String("trace", "", "trace file (required)")
+	tech := fs.String("tech", "re", "technique: base, re, te, memo")
+	refresh := fs.Int("refresh", 0, "RE periodic refresh interval (0 = off)")
+	verbose := fs.Bool("v", false, "print per-frame statistics")
+	heatmap := fs.String("heatmap", "", "write a PGM skip heat-map to this file (RE only)")
+	dump := fs.String("dump", "", "write rendered frames as PNGs into this directory")
+	tracefile := fs.String("tracefile", "", "write a Chrome trace-event pipeline timeline to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a Go CPU profile to this file")
+	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := obs.Setup(*logLevel, "")
+	if err != nil {
+		return err
+	}
 
 	if *path == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("missing -trace")
 	}
 	f, err := os.Open(*path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "resim:", err)
-		os.Exit(1)
+		return err
 	}
 	tr, err := trace.Decode(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "resim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	cfg := gpusim.DefaultConfig()
 	cfg.RefreshInterval = *refresh
 	technique, err := gpusim.ParseTechnique(*tech)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "resim:", err)
-		os.Exit(2)
+		return err
 	}
 	cfg.Technique = technique
 
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	sim, err := gpusim.New(tr, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "resim:", err)
-		os.Exit(1)
+		return err
 	}
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "resim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	log.Debug("replaying trace", "name", tr.Name, "frames", len(tr.Frames),
+		"technique", cfg.Technique.String(), "tracing", *tracefile != "")
 	res := gpusim.Result{Technique: cfg.Technique, Name: tr.Name}
 	for i := range tr.Frames {
-		fs := sim.RunFrame(&tr.Frames[i])
-		res.Frames = append(res.Frames, fs)
-		res.Total.Add(fs)
+		st := sim.RunFrame(&tr.Frames[i])
+		res.Frames = append(res.Frames, st)
+		res.Total.Add(st)
 		if *dump != "" {
 			if err := dumpFrame(*dump, i, sim, tr); err != nil {
-				fmt.Fprintln(os.Stderr, "resim:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
 	if *verbose {
-		for i, fs := range res.Frames {
-			fmt.Printf("frame %3d: cycles=%d (geom %d, raster %d) skipped=%d/%d frags=%d\n",
-				i, fs.TotalCycles(), fs.GeometryCycles, fs.RasterCycles,
-				fs.TilesSkipped, fs.TilesTotal, fs.FragsShaded)
+		for i, st := range res.Frames {
+			fmt.Fprintf(stdout, "frame %3d: cycles=%d (geom %d, raster %d) skipped=%d/%d frags=%d\n",
+				i, st.TotalCycles(), st.GeometryCycles, st.RasterCycles,
+				st.TilesSkipped, st.TilesTotal, st.FragsShaded)
 		}
 	}
 
 	t := res.Total
 	em := energy.Default()
 	eb := em.Compute(t.Activity)
-	fmt.Printf("trace      %s (%dx%d, %d frames)\n", tr.Name, tr.Width, tr.Height, len(tr.Frames))
-	fmt.Printf("technique  %s\n", cfg.Technique)
-	fmt.Printf("cycles     %d (geometry %d, raster %d)\n", t.TotalCycles(), t.GeometryCycles, t.RasterCycles)
-	fmt.Printf("time       %.3f ms @ 400 MHz\n", float64(t.TotalCycles())/400e3)
-	fmt.Printf("tiles      %d total, %d skipped (%.1f%%)\n", t.TilesTotal, t.TilesSkipped, t.SkipFraction()*100)
-	fmt.Printf("fragments  %d shaded, %d memo-reused, %d early-Z killed\n",
+	fmt.Fprintf(stdout, "trace      %s (%dx%d, %d frames)\n", tr.Name, tr.Width, tr.Height, len(tr.Frames))
+	fmt.Fprintf(stdout, "technique  %s\n", cfg.Technique)
+	fmt.Fprintf(stdout, "cycles     %d (geometry %d, raster %d)\n", t.TotalCycles(), t.GeometryCycles, t.RasterCycles)
+	fmt.Fprintf(stdout, "time       %.3f ms @ 400 MHz\n", float64(t.TotalCycles())/400e3)
+	fmt.Fprintf(stdout, "tiles      %d total, %d skipped (%.1f%%)\n", t.TilesTotal, t.TilesSkipped, t.SkipFraction()*100)
+	fmt.Fprintf(stdout, "fragments  %d shaded, %d memo-reused, %d early-Z killed\n",
 		t.FragsShaded, t.FragsMemoReused, t.FragsEarlyZKill)
-	fmt.Printf("flushes    %d done, %d skipped\n", t.FlushesDone, t.FlushesSkipped)
-	fmt.Printf("DRAM       %d bytes (colors %d, texels %d, primitives %d)\n",
+	fmt.Fprintf(stdout, "flushes    %d done, %d skipped\n", t.FlushesDone, t.FlushesSkipped)
+	fmt.Fprintf(stdout, "DRAM       %d bytes (colors %d, texels %d, primitives %d)\n",
 		t.TotalTraffic(), t.Traffic[gpusim.TrafficColor],
 		t.Traffic[gpusim.TrafficTexel], t.Traffic[gpusim.TrafficPBRead])
-	fmt.Printf("energy     %.3f mJ (GPU %.3f, memory %.3f)\n",
+	fmt.Fprintf(stdout, "energy     %.3f mJ (GPU %.3f, memory %.3f)\n",
 		eb.Total()*1e3, eb.GPU()*1e3, eb.Memory()*1e3)
-	fmt.Printf("avg power  %.1f mW\n", em.AvgPowerWatts(t.Activity)*1e3)
+	fmt.Fprintf(stdout, "avg power  %.1f mW\n", em.AvgPowerWatts(t.Activity)*1e3)
 
 	if *heatmap != "" {
 		if err := writeHeatmap(*heatmap, sim, len(tr.Frames)); err != nil {
-			fmt.Fprintln(os.Stderr, "resim:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("heatmap    %s (bright = often skipped)\n", *heatmap)
+		fmt.Fprintf(stdout, "heatmap    %s (bright = often skipped)\n", *heatmap)
 	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracefile); err != nil {
+			return err
+		}
+		log.Info("pipeline trace written", slog.String("file", *tracefile),
+			slog.Int("events", tracer.Len()))
+		fmt.Fprintf(stdout, "trace file %s (%d events; open in Perfetto or chrome://tracing)\n",
+			*tracefile, tracer.Len())
+	}
+	return nil
 }
 
 // dumpFrame writes the just-displayed frame as PNG.

@@ -6,13 +6,17 @@
 // Usage:
 //
 //	resvc [-addr :8080] [-workers N] [-cache 512] [-timeout 10m] [-retries 2]
+//	      [-log-level info] [-log-format text]
 //
 // Endpoints:
 //
-//	POST /jobs        submit a workload spec (JSON) or a trace binary; ?wait=1 blocks
-//	GET  /jobs/{id}   job status and result summary
-//	GET  /healthz     liveness
-//	GET  /metrics     Prometheus text: submissions, eliminations, latencies
+//	POST /jobs          submit a workload spec (JSON) or a trace binary; ?wait=1 blocks
+//	GET  /jobs/{id}     job status and result summary
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text: submissions, eliminations, latencies,
+//	                    per-pipeline-stage simulated cycles, tile classes
+//	GET  /debug/pprof   runtime profiling (CPU, heap, goroutines, ...)
+//	GET  /debug/vars    expvar: build info, queue depth, cache size
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"rendelim/internal/jobs"
+	"rendelim/internal/obs"
 	"rendelim/internal/server"
 )
 
@@ -51,7 +57,14 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	retries := fs.Int("retries", 2, "transient-failure retries per job")
 	maxBody := fs.Int64("max-body", 64<<20, "max trace upload bytes")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
+	logFormat := fs.String("log-format", "", "log format: text or json (default text; env "+obs.EnvLogFormat+")")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	log, err := obs.Setup(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -60,17 +73,29 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		CacheSize: *cacheSize,
 		Timeout:   *timeout,
 		Retries:   *retries,
+		Logger:    log,
 	})
 	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
+	srv.SetLogger(log)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Slow-loris hardening: a client trickling headers or a body can
+		// hold a connection for at most these budgets. WriteTimeout stays
+		// unset because ?wait=1 responses legitimately block up to the
+		// job-wait cap.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(log.Handler(), slog.LevelWarn),
+	}
 
-	fmt.Fprintf(os.Stderr, "resvc: listening on %s (%d workers, %d-entry cache)\n",
-		ln.Addr(), pool.Workers(), *cacheSize)
+	log.Info("listening", "addr", ln.Addr().String(),
+		"workers", pool.Workers(), "cache_entries", *cacheSize)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -86,22 +111,25 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	case err := <-serveErr:
 		return err
 	case sig := <-sigs:
-		fmt.Fprintf(os.Stderr, "resvc: %v, draining (budget %s)...\n", sig, *drain)
+		log.Info("draining", "signal", sig.String(), "budget", *drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "resvc: http shutdown:", err)
+		log.Warn("http shutdown", "err", err)
 	}
 	if err := pool.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "resvc: pool drain:", err)
+		log.Warn("pool drain", "err", err)
 	}
 
 	// Report job elimination the way the simulator reports tile elimination.
 	m := pool.Metrics()
-	fmt.Fprintf(os.Stderr, "resvc: jobs %d submitted, %d eliminated (%.1f%%), %d completed, %d failed\n",
-		m.Submitted.Load(), m.Deduped.Load(), m.EliminationRatio()*100,
-		m.Completed.Load(), m.Failed.Load())
+	log.Info("shutdown complete",
+		"jobs_submitted", m.Submitted.Load(),
+		"jobs_eliminated", m.Deduped.Load(),
+		"elimination_ratio", fmt.Sprintf("%.3f", m.EliminationRatio()),
+		"jobs_completed", m.Completed.Load(),
+		"jobs_failed", m.Failed.Load())
 	return nil
 }

@@ -44,7 +44,7 @@ func (r *Runner) HashAblation() *stats.Table {
 	return t
 }
 
-// OTQueueAblation sweeps the Overlapped-Tiles queue depth (DESIGN.md §5),
+// OTQueueAblation sweeps the Overlapped-Tiles queue depth (DESIGN.md §6),
 // reporting Signature Unit stall cycles as a share of geometry cycles on a
 // large-primitive-heavy benchmark.
 func (r *Runner) OTQueueAblation() *stats.Table {

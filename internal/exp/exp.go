@@ -12,6 +12,7 @@ import (
 
 	"rendelim/internal/gpusim"
 	"rendelim/internal/jobs"
+	"rendelim/internal/obs"
 	"rendelim/internal/workload"
 )
 
@@ -23,7 +24,8 @@ import (
 type Runner struct {
 	Params workload.Params
 
-	pool *jobs.Pool
+	pool   *jobs.Pool
+	tracer *obs.Tracer
 }
 
 // NewRunner builds a runner at the given workload scale with one worker per
@@ -47,6 +49,12 @@ func NewRunnerPool(p workload.Params, pool *jobs.Pool) *Runner {
 
 // Pool exposes the underlying scheduler, e.g. for its elimination metrics.
 func (r *Runner) Pool() *jobs.Pool { return r.pool }
+
+// SetTracer attaches a pipeline-trace sink to every simulation the runner
+// schedules (each unique run opens its own track). The tracer is excluded
+// from job signatures, so cached re-requests stay eliminated — every
+// distinct (benchmark, technique, variant) is traced exactly once.
+func (r *Runner) SetTracer(t *obs.Tracer) { r.tracer = t }
 
 // Config customizes a run beyond the technique (hash scheme, queue depth,
 // memo LUT size, refresh interval). Tag must uniquely identify the variant
@@ -88,6 +96,16 @@ func (r *Runner) spec(alias string, tech gpusim.Technique, variant Config) jobs.
 	}
 	if alias == "adversarial" {
 		s.Build = workload.Adversarial
+	}
+	if r.tracer != nil {
+		userMutate := s.Mutate
+		tracer := r.tracer
+		s.Mutate = func(c *gpusim.Config) {
+			if userMutate != nil {
+				userMutate(c)
+			}
+			c.Tracer = tracer
+		}
 	}
 	return s
 }

@@ -13,6 +13,7 @@ import (
 	"rendelim/internal/cache"
 	"rendelim/internal/dram"
 	"rendelim/internal/energy"
+	"rendelim/internal/obs"
 	"rendelim/internal/sig"
 	"rendelim/internal/timing"
 )
@@ -109,6 +110,13 @@ type Config struct {
 	// assertion that a signature match never pairs with a color change;
 	// only meaningful for Baseline runs, where everything renders.
 	TrackGroundTruth bool
+
+	// Tracer, when non-nil, records a Chrome trace-event timeline of the
+	// run: one span per frame with nested per-stage spans and instant
+	// events for tile eliminations. Nil (the default) costs nothing on the
+	// simulation hot path. Excluded from the job signature: tracing never
+	// changes results.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the Table I configuration.

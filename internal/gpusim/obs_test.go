@@ -1,0 +1,165 @@
+package gpusim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rendelim/internal/obs"
+	"rendelim/internal/workload"
+)
+
+func runTraced(t *testing.T, tech Technique) (*obs.Tracer, Result) {
+	t.Helper()
+	b, err := workload.ByAlias("ccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Build(workload.Params{Width: 96, Height: 64, Frames: 5, Seed: 1})
+	cfg := DefaultConfig()
+	cfg.Technique = tech
+	cfg.Tracer = obs.NewTracer()
+	sim, err := New(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Tracer, sim.Run()
+}
+
+// TestPipelineTrace runs a redundant workload under RE with tracing on and
+// validates the emitted timeline: one span per frame, nested per-stage
+// spans in pipeline order, tile-elimination instant events, and balanced
+// nesting throughout.
+func TestPipelineTrace(t *testing.T) {
+	tracer, res := runTraced(t, RE)
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf obs.TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+
+	var stack []string
+	frames, eliminations := 0, 0
+	stagesSeen := map[string]bool{}
+	for i, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "B":
+			if e.Name == "frame" {
+				frames++
+				if len(stack) != 0 {
+					t.Fatalf("event %d: frame span opened inside %v", i, stack)
+				}
+			} else if len(stack) == 0 {
+				t.Fatalf("event %d: stage span %q outside any frame", i, e.Name)
+			}
+			stack = append(stack, e.Name)
+			stagesSeen[e.Name] = true
+		case "E":
+			if len(stack) == 0 || stack[len(stack)-1] != e.Name {
+				t.Fatalf("event %d: E %q does not match stack %v", i, e.Name, stack)
+			}
+			stack = stack[:len(stack)-1]
+		case "i":
+			if e.Name == "tile-eliminated" {
+				eliminations++
+				if len(stack) == 0 || stack[len(stack)-1] != "raster" {
+					t.Errorf("event %d: elimination outside raster span (stack %v)", i, stack)
+				}
+			}
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unclosed spans: %v", stack)
+	}
+	if frames != len(res.Frames) {
+		t.Errorf("frame spans %d, want %d", frames, len(res.Frames))
+	}
+	if uint64(eliminations) != res.Total.TilesSkipped {
+		t.Errorf("elimination instants %d, want %d (TilesSkipped)", eliminations, res.Total.TilesSkipped)
+	}
+	if res.Total.TilesSkipped == 0 {
+		t.Error("ccs under RE should skip tiles — trace has nothing to show")
+	}
+	for _, want := range []string{"frame", "geometry", "vertex-shading", "tiling", "raster", "re-check", "raster-tile", "fragment-shading", "dram-flush"} {
+		if !stagesSeen[want] {
+			t.Errorf("missing stage span %q", want)
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbResults: a traced run and an untraced run of the
+// same workload must produce identical statistics.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	_, traced := runTraced(t, RE)
+
+	b, _ := workload.ByAlias("ccs")
+	tr := b.Build(workload.Params{Width: 96, Height: 64, Frames: 5, Seed: 1})
+	cfg := DefaultConfig()
+	cfg.Technique = RE
+	sim, err := New(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := sim.Run()
+	if traced.Total != plain.Total {
+		t.Errorf("tracing changed results:\ntraced %+v\nplain  %+v", traced.Total, plain.Total)
+	}
+}
+
+// TestStageCycles checks the per-stage cycle attribution: every pipeline
+// stage a run exercises reports cycles, RE runs attribute signature-check
+// cycles, and Add aggregates the array.
+func TestStageCycles(t *testing.T) {
+	_, re := runTraced(t, RE)
+	sc := re.Total.StageCycles
+	for _, stage := range []PipeStage{StageVertex, StageTiling, StageSigCheck, StageRaster, StageFragment, StageFlush} {
+		if sc[stage] == 0 {
+			t.Errorf("stage %s reports 0 cycles under RE", stage)
+		}
+	}
+
+	_, base := runTraced(t, Baseline)
+	if base.Total.StageCycles[StageSigCheck] != 0 {
+		t.Errorf("baseline attributes %d sig-check cycles, want 0", base.Total.StageCycles[StageSigCheck])
+	}
+
+	// Add must accumulate the array: the total equals the per-frame sum.
+	var sum Stats
+	for _, f := range re.Frames {
+		sum.Add(f)
+	}
+	if sum.StageCycles != re.Total.StageCycles {
+		t.Errorf("Add dropped stage cycles: %v vs %v", sum.StageCycles, re.Total.StageCycles)
+	}
+	// Skipped tiles must be cheap: RE spends fewer raster-stage cycles
+	// than baseline on this redundant workload.
+	if re.Total.StageCycles[StageRaster] >= base.Total.StageCycles[StageRaster] {
+		t.Errorf("RE raster stage cycles %d not below baseline %d", re.Total.StageCycles[StageRaster], base.Total.StageCycles[StageRaster])
+	}
+}
+
+// TestPipeStageStrings pins the metric label names.
+func TestPipeStageStrings(t *testing.T) {
+	want := map[PipeStage]string{
+		StageVertex: "vertex", StageTiling: "tiling", StageSigCheck: "sig-check",
+		StageRaster: "raster", StageFragment: "fragment", StageFlush: "flush",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), name)
+		}
+	}
+	wantClass := map[TileClass]string{
+		TileEqColorEqInput: "eq-color-eq-input", TileEqColorDiffInput: "eq-color-diff-input",
+		TileDiffColor: "diff-color", TileEqInputDiffColor: "eq-input-diff-color",
+	}
+	for c, name := range wantClass {
+		if c.String() != name {
+			t.Errorf("class %d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rendelim/internal/dram"
 	"rendelim/internal/fb"
 	"rendelim/internal/geom"
+	"rendelim/internal/obs"
 	"rendelim/internal/rast"
 	"rendelim/internal/shader"
 	"rendelim/internal/sig"
@@ -100,6 +101,11 @@ type Simulator struct {
 	skipCounts    []uint32
 	signedPipe    api.SetPipeline
 	pipeSigned    bool
+
+	// tr is the pipeline-stage tracing track; nil when tracing is off, and
+	// every emission site is gated on that nil so the disabled path costs
+	// nothing (see obs.BenchmarkTracerDisabled).
+	tr *obs.Thread
 }
 
 // tileSampler adapts the texture store to the shader VM, charging every
@@ -170,7 +176,16 @@ func New(trace *api.Trace, cfg Config) (*Simulator, error) {
 	s.fsSampler.s = s
 	s.fsExec.Sampler = &s.fsSampler
 	s.skipCounts = make([]uint32, s.fbuf.NumTiles())
+	if cfg.Tracer != nil {
+		s.tr = cfg.Tracer.Thread("sim " + trace.Name + " [" + cfg.Technique.String() + "]")
+	}
 	return s, nil
+}
+
+// SetTracer (re)binds the simulator to a trace sink, opening a new track.
+// A nil tracer disables tracing.
+func (s *Simulator) SetTracer(t *obs.Tracer) {
+	s.tr = t.Thread("sim " + s.trace.Name + " [" + s.cfg.Technique.String() + "]")
 }
 
 // SkipCounts returns how many times each tile was bypassed so far, indexed
@@ -219,6 +234,9 @@ func (s *Simulator) Run() Result {
 func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	st := Stats{Frames: 1}
 	s.frame = &st
+	if s.tr != nil {
+		s.tr.BeginArg("frame", "frame", int64(s.frameIdx))
+	}
 
 	// Snapshot cumulative counters to diff at frame end.
 	dramBefore := s.dram.Stats
@@ -244,6 +262,9 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 
 	var geo timing.GeometryWork
 	mrt := false
+	if s.tr != nil {
+		s.tr.Begin("geometry")
+	}
 	for _, cmd := range frame.Commands {
 		switch c := cmd.(type) {
 		case api.Draw:
@@ -293,9 +314,20 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 		st.SUStallCycles = geo.SUStallCycles
 	}
 	st.GeometryCycles = s.cfg.Timing.GeometryCycles(geo)
+	vtx, til := s.cfg.Timing.GeometryStageCycles(geo)
+	st.StageCycles[StageVertex] += vtx
+	st.StageCycles[StageTiling] += til
+	st.StageCycles[StageSigCheck] += geo.SUStallCycles
+	if s.tr != nil {
+		s.tr.End() // geometry
+		s.tr.Begin("raster")
+	}
 
 	for tile := 0; tile < s.fbuf.NumTiles(); tile++ {
 		s.rasterTile(tile, &st)
+	}
+	if s.tr != nil {
+		s.tr.End() // raster
 	}
 
 	s.re.EndFrame()
@@ -342,6 +374,10 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	a.DRAMRequests = (dNow.Reads + dNow.Writes) - (dramBefore.Reads + dramBefore.Writes)
 	a.Cycles = st.TotalCycles()
 
+	if s.tr != nil {
+		s.tr.Counter("tiles-skipped", "skipped", int64(st.TilesSkipped))
+		s.tr.End() // frame
+	}
 	s.frameIdx++
 	s.frame = nil
 	return st
@@ -398,6 +434,9 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 
 	// Vertex fetch through the vertex cache (static VBO layout: the same
 	// simulated addresses every frame).
+	if s.tr != nil {
+		s.tr.BeginArg("vertex-shading", "draw", int64(drawIdx))
+	}
 	nv := d.VertexCount()
 	st.Vertices += uint64(nv)
 	vbase := uint64(addrVertexBase) + uint64(drawIdx)*addrVertexStride
@@ -431,6 +470,10 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 		}
 	}
 	geo.VSInstructions += uint64(nv * vs.Len())
+	if s.tr != nil {
+		s.tr.End() // vertex-shading
+		s.tr.BeginArg("tiling", "draw", int64(drawIdx))
+	}
 
 	// Primitive assembly: clip, cull, bin, and sign.
 	producer := uint64(vs.Len()*3 + 4)
@@ -471,6 +514,9 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 			s.re.OnPrimitive(s.primScratch, tiles, producer)
 		}
 	}
+	if s.tr != nil {
+		s.tr.End() // tiling
+	}
 }
 
 func (s *Simulator) rasterTile(tile int, st *Stats) {
@@ -479,7 +525,14 @@ func (s *Simulator) rasterTile(tile int, st *Stats) {
 
 	if s.cfg.Technique == RE && !s.re.Disabled() {
 		tw.CompareCycles = 4
-		if s.re.ShouldSkip(tile) {
+		if s.tr != nil {
+			s.tr.BeginArg("re-check", "tile", int64(tile))
+		}
+		skip := s.re.ShouldSkip(tile)
+		if s.tr != nil {
+			s.tr.End() // re-check
+		}
+		if skip {
 			// Rendering Elimination bypass: the whole Raster Pipeline is
 			// skipped and the Frame Buffer keeps the previous colors.
 			tw.Skipped = true
@@ -487,7 +540,11 @@ func (s *Simulator) rasterTile(tile int, st *Stats) {
 			s.skipCounts[tile]++
 			st.TileClasses[TileEqColorEqInput]++
 			st.TilesClassified++
+			st.StageCycles[StageSigCheck] += tw.CompareCycles
 			st.RasterCycles += s.cfg.Timing.TileCycles(tw)
+			if s.tr != nil {
+				s.tr.Instant("tile-eliminated", "tile", int64(tile))
+			}
 			return
 		}
 	}
@@ -495,6 +552,9 @@ func (s *Simulator) rasterTile(tile int, st *Stats) {
 	rect := s.fbuf.TileRect(tile)
 	s.tb.Clear(s.clearColor)
 	bin := s.binner.Bin(tile)
+	if s.tr != nil {
+		s.tr.BeginArg("raster-tile", "tile", int64(tile))
+	}
 
 	// Tile Scheduler: fetch the tile's pointer list and primitive data from
 	// the Parameter Buffer through the Tile Cache.
@@ -507,6 +567,9 @@ func (s *Simulator) rasterTile(tile int, st *Stats) {
 
 	fsBefore := s.fsExec.Counts
 	s.texExtraLat = 0
+	if s.tr != nil {
+		s.tr.Begin("fragment-shading")
+	}
 	// PFR pairing: the second frame of each pair may reuse the first's
 	// same-tile entries; the first of a pair only reuses intra-frame.
 	crossFrame := s.frameIdx%2 == 1
@@ -589,6 +652,9 @@ func (s *Simulator) rasterTile(tile int, st *Stats) {
 	tw.FSInstructions = s.fsExec.Counts.Instructions - fsBefore.Instructions
 	tw.TexMissCycles = s.texExtraLat
 	tw.BlendFrags = tileFrags
+	if s.tr != nil {
+		s.tr.End() // fragment-shading
+	}
 
 	// Ground-truth classification against the frame two swaps back.
 	var eqColor bool
@@ -627,6 +693,9 @@ func (s *Simulator) rasterTile(tile int, st *Stats) {
 
 	// Tile flush: write the Color Buffer out to the Frame Buffer in DRAM.
 	if doFlush {
+		if s.tr != nil {
+			s.tr.Begin("dram-flush")
+		}
 		st.FlushesDone++
 		bytes := s.fbuf.FlushTile(tile, &s.tb)
 		tw.FlushBytes = uint64(bytes)
@@ -635,11 +704,22 @@ func (s *Simulator) rasterTile(tile int, st *Stats) {
 		for y := rect.Y0; y < rect.Y1; y++ {
 			s.dramWrite(s.fbuf.PixelAddr(rect.X0, y), (rect.X1-rect.X0)*4)
 		}
+		if s.tr != nil {
+			s.tr.End() // dram-flush
+		}
 	} else {
 		st.FlushesSkipped++
 	}
 
+	sigC, rastC, fragC, flushC := s.cfg.Timing.TileStageCycles(tw)
+	st.StageCycles[StageSigCheck] += sigC
+	st.StageCycles[StageRaster] += rastC
+	st.StageCycles[StageFragment] += fragC
+	st.StageCycles[StageFlush] += flushC
 	st.RasterCycles += s.cfg.Timing.TileCycles(tw)
+	if s.tr != nil {
+		s.tr.End() // raster-tile
+	}
 }
 
 // dramWrite issues a classified direct-to-DRAM write (tile flush path).

@@ -47,6 +47,56 @@ const (
 	NumTileClasses
 )
 
+// String names the class for metrics labels and tables.
+func (c TileClass) String() string {
+	switch c {
+	case TileEqColorEqInput:
+		return "eq-color-eq-input"
+	case TileEqColorDiffInput:
+		return "eq-color-diff-input"
+	case TileDiffColor:
+		return "diff-color"
+	case TileEqInputDiffColor:
+		return "eq-input-diff-color"
+	}
+	return "?"
+}
+
+// PipeStage identifies one stage of the modeled pipeline for per-stage
+// cycle attribution — the axis of the paper's overhead analysis, exposed
+// through tracing spans and the resvc /metrics endpoint.
+type PipeStage int
+
+// Pipeline stages, in execution order.
+const (
+	StageVertex   PipeStage = iota // vertex fetch + vertex shading
+	StageTiling                    // primitive assembly, binning, PB writes
+	StageSigCheck                  // RE signature compute/compare + SU stalls
+	StageRaster                    // PB fetch, triangle setup, quad traversal
+	StageFragment                  // fragment shading + blending
+	StageFlush                     // Color Buffer flush to DRAM
+	NumPipeStages
+)
+
+// String implements fmt.Stringer.
+func (p PipeStage) String() string {
+	switch p {
+	case StageVertex:
+		return "vertex"
+	case StageTiling:
+		return "tiling"
+	case StageSigCheck:
+		return "sig-check"
+	case StageRaster:
+		return "raster"
+	case StageFragment:
+		return "fragment"
+	case StageFlush:
+		return "flush"
+	}
+	return "?"
+}
+
 // Stats aggregates one frame (or a whole run, via Add).
 type Stats struct {
 	Frames uint64
@@ -54,6 +104,11 @@ type Stats struct {
 	GeometryCycles uint64
 	RasterCycles   uint64
 	SUStallCycles  uint64 // Signature Unit back-pressure included in GeometryCycles
+
+	// StageCycles attributes cycles to individual pipeline stages
+	// (timing.GeometryStageCycles / TileStageCycles). Stages overlap in
+	// the pipeline model, so the array does not sum to TotalCycles.
+	StageCycles [NumPipeStages]uint64
 
 	// Tile accounting.
 	TilesTotal   uint64
@@ -93,6 +148,9 @@ func (s *Stats) Add(o Stats) {
 	s.GeometryCycles += o.GeometryCycles
 	s.RasterCycles += o.RasterCycles
 	s.SUStallCycles += o.SUStallCycles
+	for i := range s.StageCycles {
+		s.StageCycles[i] += o.StageCycles[i]
+	}
 	s.TilesTotal += o.TilesTotal
 	s.TilesSkipped += o.TilesSkipped
 	for i := range s.TileClasses {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -201,6 +202,7 @@ type Options struct {
 	Retries    int           // transient-failure retries; default 0
 	Backoff    time.Duration // initial retry backoff (doubles); default 50ms
 	Run        RunFunc       // job executor; default DefaultRun
+	Logger     *slog.Logger  // structured job-lifecycle logs; default slog.Default
 }
 
 // Pool is the bounded scheduler: a FIFO queue drained by Workers goroutines,
@@ -208,6 +210,7 @@ type Options struct {
 type Pool struct {
 	opts    Options
 	metrics *Metrics
+	log     *slog.Logger
 
 	queue  chan *Job
 	sendMu sync.RWMutex // Submit sends under RLock; Close closes queue under Lock
@@ -245,10 +248,14 @@ func New(opts Options) *Pool {
 	if opts.Run == nil {
 		opts.Run = DefaultRun
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
 		opts:       opts,
 		metrics:    newMetrics(),
+		log:        opts.Logger,
 		queue:      make(chan *Job, opts.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -314,6 +321,7 @@ func (p *Pool) Submit(spec Spec) (*Job, error) {
 		p.mu.Unlock()
 		p.metrics.Deduped.Add(1)
 		p.metrics.CacheHits.Add(1)
+		p.log.Debug("job eliminated", "id", j.ID, "key", key.String(), "via", "cache")
 		return j, nil
 	}
 
@@ -328,6 +336,7 @@ func (p *Pool) Submit(spec Spec) (*Job, error) {
 		p.mu.Unlock()
 		p.metrics.Deduped.Add(1)
 		p.metrics.Joins.Add(1)
+		p.log.Debug("job eliminated", "id", j.ID, "key", key.String(), "via", "inflight-join")
 		return j, nil
 	}
 
@@ -355,6 +364,7 @@ func (p *Pool) Submit(spec Spec) (*Job, error) {
 	}
 	p.queue <- j
 	p.sendMu.RUnlock()
+	p.log.Debug("job queued", "id", j.ID, "key", key.String(), "alias", spec.Alias, "tech", spec.Tech.String())
 	return j, nil
 }
 
@@ -425,6 +435,7 @@ func (p *Pool) execute(j *Job) {
 		ctx, timeoutCancel = context.WithTimeout(ctx, p.opts.Timeout)
 	}
 
+	start := time.Now()
 	res, err := p.runWithRetry(ctx, j.spec)
 	if timeoutCancel != nil {
 		timeoutCancel()
@@ -440,11 +451,17 @@ func (p *Pool) execute(j *Job) {
 
 	if err == nil {
 		p.metrics.Completed.Add(1)
+		p.metrics.ObserveResult(res)
+		p.log.Debug("job done", "id", j.ID, "key", j.Key.String(),
+			"frames", len(res.Frames), "tiles_skipped", res.Total.TilesSkipped,
+			"duration", time.Since(start))
 	} else {
 		p.metrics.Failed.Add(1)
 		if errors.Is(err, context.DeadlineExceeded) {
 			p.metrics.Timeouts.Add(1)
 		}
+		p.log.Warn("job failed", "id", j.ID, "key", j.Key.String(),
+			"duration", time.Since(start), "err", err)
 	}
 	j.call.finish(res, err)
 	if j.call.cancel != nil {
@@ -463,6 +480,7 @@ func (p *Pool) runWithRetry(ctx context.Context, spec Spec) (gpusim.Result, erro
 			return res, err
 		}
 		p.metrics.Retries.Add(1)
+		p.log.Warn("job retrying", "attempt", attempt+1, "backoff", backoff, "err", err)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():

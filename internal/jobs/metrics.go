@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rendelim/internal/gpusim"
 	"rendelim/internal/stats"
 )
 
@@ -36,6 +37,13 @@ type Metrics struct {
 
 	mu    sync.Mutex
 	hists map[string]*stats.Histogram
+
+	// sim accumulates the simulator-side counters of every completed run:
+	// per-pipeline-stage cycles and the Figure 15a tile classification,
+	// exported through /metrics so the service surfaces the same per-stage
+	// attribution the paper's evaluation is built on.
+	simMu sync.Mutex
+	sim   gpusim.Stats
 }
 
 func newMetrics() *Metrics {
@@ -52,6 +60,21 @@ func (m *Metrics) ObserveStage(stage string, seconds float64) {
 	}
 	h.Observe(seconds)
 	m.mu.Unlock()
+}
+
+// ObserveResult folds one completed run's simulator statistics into the
+// service-wide totals.
+func (m *Metrics) ObserveResult(res gpusim.Result) {
+	m.simMu.Lock()
+	m.sim.Add(res.Total)
+	m.simMu.Unlock()
+}
+
+// SimTotals returns a snapshot of the accumulated simulator counters.
+func (m *Metrics) SimTotals() gpusim.Stats {
+	m.simMu.Lock()
+	defer m.simMu.Unlock()
+	return m.sim
 }
 
 // EliminationRatio is deduped/submitted — the job-level analogue of the
@@ -103,6 +126,23 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	gaugeF("resvc_cache_hit_ratio", "LRU result cache hit ratio.", m.CacheHitRatio())
 	gaugeI("resvc_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth())
 	gaugeI("resvc_jobs_running", "Jobs currently executing.", m.Running.Load())
+
+	// Simulator-side totals across all completed runs: per-pipeline-stage
+	// simulated cycles and the Figure 15a tile classification.
+	sim := m.SimTotals()
+	counter("resvc_sim_frames_total", "Frames simulated across all completed jobs.", sim.Frames)
+	counter("resvc_sim_tiles_total", "Tiles processed across all completed jobs.", sim.TilesTotal)
+	counter("resvc_sim_tiles_skipped_total", "Tiles eliminated by RE across all completed jobs.", sim.TilesSkipped)
+	const scname = "resvc_sim_stage_cycles_total"
+	fmt.Fprintf(w, "# HELP %s Simulated cycles attributed to each pipeline stage.\n# TYPE %s counter\n", scname, scname)
+	for st := gpusim.PipeStage(0); st < gpusim.NumPipeStages; st++ {
+		fmt.Fprintf(w, "%s{stage=%q} %d\n", scname, st.String(), sim.StageCycles[st])
+	}
+	const tcname = "resvc_sim_tile_class_total"
+	fmt.Fprintf(w, "# HELP %s Tiles per Figure 15a class (vs the frame two swaps back).\n# TYPE %s counter\n", tcname, tcname)
+	for c := gpusim.TileClass(0); c < gpusim.NumTileClasses; c++ {
+		fmt.Fprintf(w, "%s{class=%q} %d\n", tcname, c.String(), sim.TileClasses[c])
+	}
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.hists))

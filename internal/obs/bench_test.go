@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+// disabledSink defeats dead-code elimination without allocating.
+var disabledSink int
+
+// tracerDisabledOps is the exact call pattern the simulator's hot path
+// issues per tile when tracing is off: the Thread handle is nil and every
+// method must return without touching the heap.
+func tracerDisabledOps(th *Thread) {
+	th.BeginArg("frame", "frame", 1)
+	th.Begin("re-check")
+	th.Instant("tile-eliminated", "tile", 7)
+	th.End()
+	th.Counter("tiles-skipped", "skipped", 3)
+	th.End()
+	disabledSink += th.Depth()
+}
+
+// BenchmarkTracerDisabled is the CI smoke benchmark: the disabled tracer
+// path must report 0 allocs/op (TestTracerDisabledZeroAlloc enforces it).
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	th := tr.Thread("sim")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracerDisabledOps(th)
+	}
+}
+
+// TestTracerDisabledZeroAlloc is the guard behind the benchmark: a nil
+// tracer must cost zero heap allocations on the per-tile hot path.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	th := tr.Thread("sim")
+	if allocs := testing.AllocsPerRun(1000, func() { tracerDisabledOps(th) }); allocs != 0 {
+		t.Fatalf("disabled tracer path allocates: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"expvar"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var buildInfoOnce sync.Once
+
+// PublishBuildInfo exposes the binary's build identity under the expvar key
+// "rendelim_build_info" (served at /debug/vars): Go runtime version, module
+// path and version, and VCS revision when stamped. Idempotent — expvar
+// forbids re-publishing a name, so repeated calls (e.g. from tests spinning
+// up several servers) are no-ops after the first.
+func PublishBuildInfo() {
+	buildInfoOnce.Do(func() {
+		expvar.Publish("rendelim_build_info", expvar.Func(func() any {
+			info := map[string]string{
+				"go_version": runtime.Version(),
+				"goos":       runtime.GOOS,
+				"goarch":     runtime.GOARCH,
+			}
+			if bi, ok := debug.ReadBuildInfo(); ok {
+				info["module"] = bi.Main.Path
+				if bi.Main.Version != "" {
+					info["version"] = bi.Main.Version
+				}
+				for _, s := range bi.Settings {
+					switch s.Key {
+					case "vcs.revision", "vcs.time", "vcs.modified":
+						info[s.Key] = s.Value
+					}
+				}
+			}
+			return info
+		}))
+	})
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+		err  bool
+	}{
+		{"debug", slog.LevelDebug, false},
+		{"info", slog.LevelInfo, false},
+		{"", slog.LevelInfo, false},
+		{"WARN", slog.LevelWarn, false},
+		{"warning", slog.LevelWarn, false},
+		{"error", slog.LevelError, false},
+		{" Error ", slog.LevelError, false},
+		{"verbose", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseLevel(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseLevel(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hello", "tile", 42)
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("JSON handler emitted non-JSON: %s", buf.Bytes())
+	}
+	if m["msg"] != "hello" || m["tile"] != float64(42) || m["level"] != "DEBUG" {
+		t.Errorf("unexpected record %v", m)
+	}
+}
+
+func TestNewLoggerTextLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level filter broken:\n%s", out)
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "nope", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "info", "yaml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestSetupEnvFallback(t *testing.T) {
+	t.Setenv(EnvLogLevel, "error")
+	t.Setenv(EnvLogFormat, "json")
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+	l, err := Setup("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Enabled(context.Background(), slog.LevelError) || l.Enabled(context.Background(), slog.LevelWarn) {
+		t.Error("env level not honored")
+	}
+	if slog.Default() != l {
+		t.Error("Setup did not install the default logger")
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer collects trace events and serializes them as Chrome trace-event
+// JSON, the format Perfetto and chrome://tracing load directly. A Tracer is
+// the shared sink for a whole process; concurrent emitters (one simulator
+// per worker, say) each obtain a Thread, which carries its own span stack
+// and renders as its own track in the viewer.
+//
+// The disabled path is free: a nil *Tracer yields nil *Threads, and every
+// Thread method returns immediately on a nil receiver without allocating —
+// the zero-overhead-when-disabled guarantee BenchmarkTracerDisabled pins.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	lastTS  int64
+	events  []rec
+	nextTID int
+}
+
+// rec is the compact in-memory form of one event; JSON shaping happens only
+// at serialization time.
+type rec struct {
+	name   string
+	ph     byte // 'B' span begin, 'E' span end, 'i' instant, 'C' counter, 'M' metadata
+	ts     int64 // nanoseconds since tracer start
+	tid    int
+	argKey string
+	argInt int64
+	argStr string
+}
+
+// NewTracer starts a tracer; timestamps are relative to this call.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), nextTID: 1}
+}
+
+// Thread registers a named track and returns its event emitter. Safe for
+// concurrent use; returns nil on a nil tracer so the handle can be stored
+// and used unconditionally.
+func (t *Tracer) Thread(name string) *Thread {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tid := t.nextTID
+	t.nextTID++
+	t.events = append(t.events, rec{name: "thread_name", ph: 'M', tid: tid, argKey: "name", argStr: name})
+	t.mu.Unlock()
+	return &Thread{t: t, tid: tid}
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// emit appends one event, stamping a monotonic timestamp under the lock so
+// the buffer is globally time-ordered.
+func (t *Tracer) emit(r rec) {
+	t.mu.Lock()
+	ts := int64(time.Since(t.start))
+	if ts < t.lastTS {
+		ts = t.lastTS
+	}
+	t.lastTS = ts
+	r.ts = ts
+	t.events = append(t.events, r)
+	t.mu.Unlock()
+}
+
+// Thread emits events onto one track of the tracer. Each Thread has its own
+// Begin/End span stack; a single Thread is not safe for concurrent use (use
+// one per goroutine), matching the simulator's one-goroutine execution.
+type Thread struct {
+	t     *Tracer
+	tid   int
+	stack []string
+}
+
+// Begin opens a span. Spans nest: each End closes the most recent Begin.
+func (th *Thread) Begin(name string) {
+	if th == nil {
+		return
+	}
+	th.stack = append(th.stack, name)
+	th.t.emit(rec{name: name, ph: 'B', tid: th.tid})
+}
+
+// BeginArg opens a span carrying one integer argument (a frame or tile id).
+func (th *Thread) BeginArg(name, key string, v int64) {
+	if th == nil {
+		return
+	}
+	th.stack = append(th.stack, name)
+	th.t.emit(rec{name: name, ph: 'B', tid: th.tid, argKey: key, argInt: v})
+}
+
+// End closes the innermost open span. Unbalanced Ends are dropped rather
+// than corrupting the stream.
+func (th *Thread) End() {
+	if th == nil || len(th.stack) == 0 {
+		return
+	}
+	name := th.stack[len(th.stack)-1]
+	th.stack = th.stack[:len(th.stack)-1]
+	th.t.emit(rec{name: name, ph: 'E', tid: th.tid})
+}
+
+// Instant marks a point event (thread-scoped), e.g. one tile elimination.
+func (th *Thread) Instant(name, key string, v int64) {
+	if th == nil {
+		return
+	}
+	th.t.emit(rec{name: name, ph: 'i', tid: th.tid, argKey: key, argInt: v})
+}
+
+// Counter samples a named counter series, rendered as a stacked chart.
+func (th *Thread) Counter(name, key string, v int64) {
+	if th == nil {
+		return
+	}
+	th.t.emit(rec{name: name, ph: 'C', tid: th.tid, argKey: key, argInt: v})
+}
+
+// Depth returns the number of currently open spans, for tests.
+func (th *Thread) Depth() int {
+	if th == nil {
+		return 0
+	}
+	return len(th.stack)
+}
+
+// Event is the JSON shape of one Chrome trace event.
+type Event struct {
+	Name  string         `json:"name,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level JSON object.
+type TraceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit,omitempty"`
+}
+
+// Events renders the recorded stream in serialization order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.events))
+	for _, r := range t.events {
+		e := Event{Name: r.name, Ph: string(r.ph), TS: float64(r.ts) / 1e3, PID: 1, TID: r.tid}
+		if r.ph == 'i' {
+			e.Scope = "t"
+		}
+		if r.argKey != "" {
+			if r.argStr != "" {
+				e.Args = map[string]any{r.argKey: r.argStr}
+			} else {
+				e.Args = map[string]any{r.argKey: r.argInt}
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// WriteJSON serializes the trace as Chrome trace-event JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(TraceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ns"})
+}
+
+// WriteFile serializes the trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

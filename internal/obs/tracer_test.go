@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// loadTraceFile reads and unmarshals a Chrome trace-event file.
+func loadTraceFile(t *testing.T, path string) TraceFile {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("%s is not valid trace JSON: %v", path, err)
+	}
+	return tf
+}
+
+// TestTracerChromeJSON emits a nested span structure with instant and
+// counter events, round-trips it through the JSON serializer, and checks
+// the stream a Chrome trace viewer would see: balanced B/E nesting per
+// thread, monotonic non-decreasing timestamps, and intact arguments.
+func TestTracerChromeJSON(t *testing.T) {
+	tr := NewTracer()
+	th := tr.Thread("sim")
+
+	th.BeginArg("frame", "frame", 0)
+	th.Begin("geometry")
+	th.Begin("vertex-shading")
+	th.End()
+	th.End()
+	th.Begin("raster")
+	th.Instant("tile-eliminated", "tile", 17)
+	th.End()
+	th.Counter("tiles-skipped", "skipped", 1)
+	th.End() // frame
+	if d := th.Depth(); d != 0 {
+		t.Fatalf("span stack not drained: depth %d", d)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+
+	var (
+		lastTS  = -1.0
+		stack   []string
+		sawMeta, sawInstant, sawCounter bool
+	)
+	for i, e := range tf.TraceEvents {
+		if e.Ph != "M" {
+			if e.TS < lastTS {
+				t.Fatalf("event %d (%s %s): timestamp %v < previous %v", i, e.Ph, e.Name, e.TS, lastTS)
+			}
+			lastTS = e.TS
+		}
+		switch e.Ph {
+		case "M":
+			sawMeta = true
+			if e.Name != "thread_name" || e.Args["name"] != "sim" {
+				t.Errorf("bad metadata event %+v", e)
+			}
+		case "B":
+			stack = append(stack, e.Name)
+		case "E":
+			if len(stack) == 0 {
+				t.Fatalf("event %d: E %q with no open span", i, e.Name)
+			}
+			if top := stack[len(stack)-1]; top != e.Name {
+				t.Fatalf("event %d: E %q does not close innermost span %q", i, e.Name, top)
+			}
+			stack = stack[:len(stack)-1]
+		case "i":
+			sawInstant = true
+			if e.Scope != "t" {
+				t.Errorf("instant event missing thread scope: %+v", e)
+			}
+			if v, ok := e.Args["tile"].(float64); !ok || v != 17 {
+				t.Errorf("instant args = %v, want tile 17", e.Args)
+			}
+			// The instant must fall inside the raster span.
+			if len(stack) == 0 || stack[len(stack)-1] != "raster" {
+				t.Errorf("tile-eliminated emitted outside raster span (stack %v)", stack)
+			}
+		case "C":
+			sawCounter = true
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unclosed spans at end of trace: %v", stack)
+	}
+	if !sawMeta || !sawInstant || !sawCounter {
+		t.Fatalf("missing event kinds: meta=%v instant=%v counter=%v", sawMeta, sawInstant, sawCounter)
+	}
+}
+
+// TestTracerWriteFile exercises the file path used by resim -tracefile.
+func TestTracerWriteFile(t *testing.T) {
+	tr := NewTracer()
+	th := tr.Thread("x")
+	th.Begin("frame")
+	th.End()
+	path := filepath.Join(t.TempDir(), "out.trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	tf := loadTraceFile(t, path)
+	if len(tf.TraceEvents) != 3 { // metadata + B + E
+		t.Fatalf("got %d events, want 3", len(tf.TraceEvents))
+	}
+}
+
+// TestTracerConcurrentThreads hammers one sink from several threads; run
+// under -race this pins the locking, and the stream must stay time-ordered.
+func TestTracerConcurrentThreads(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := tr.Thread("worker")
+			for i := 0; i < 100; i++ {
+				th.Begin("span")
+				th.Instant("tick", "i", int64(i))
+				th.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	last := -1.0
+	for i, e := range evs {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < last {
+			t.Fatalf("event %d out of order: %v < %v", i, e.TS, last)
+		}
+		last = e.TS
+	}
+	if tr.Len() != 4+4*300 {
+		t.Fatalf("event count %d, want %d", tr.Len(), 4+4*300)
+	}
+}
+
+// TestTracerUnbalancedEnd must not panic or emit a bogus E.
+func TestTracerUnbalancedEnd(t *testing.T) {
+	tr := NewTracer()
+	th := tr.Thread("x")
+	th.End()
+	if tr.Len() != 1 { // just the metadata event
+		t.Fatalf("unbalanced End emitted an event: %d", tr.Len())
+	}
+}
+
+// TestNilTracerSafe: the whole API must be callable through nil handles —
+// this is the disabled path every production call site relies on.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	th := tr.Thread("ignored")
+	if th != nil {
+		t.Fatal("nil tracer must yield nil thread")
+	}
+	th.Begin("a")
+	th.BeginArg("b", "k", 1)
+	th.Instant("c", "k", 2)
+	th.Counter("d", "k", 3)
+	th.End()
+	if tr.Len() != 0 || th.Depth() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteJSON on nil tracer must error")
+	}
+}

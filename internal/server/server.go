@@ -1,23 +1,30 @@
 // Package server exposes the jobs pool over HTTP: POST /jobs submits a
 // workload spec (JSON) or an uploaded internal/trace binary, GET /jobs/{id}
 // reports status and results, GET /healthz liveness, and GET /metrics the
-// Prometheus-text pool counters — including the job-elimination ratio, the
-// service-level twin of the paper's tile skip fraction.
+// Prometheus-text pool counters — including the job-elimination ratio (the
+// service-level twin of the paper's tile skip fraction) and the simulator's
+// per-pipeline-stage cycle and tile-class totals. Runtime introspection
+// rides along at /debug/pprof (net/http/pprof) and /debug/vars (expvar).
 package server
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"rendelim/internal/gpusim"
 	"rendelim/internal/jobs"
+	"rendelim/internal/obs"
 	"rendelim/internal/trace"
 	"rendelim/internal/workload"
 )
@@ -50,26 +57,84 @@ type Server struct {
 	pool   *jobs.Pool
 	limits Limits
 	start  time.Time
+	log    *slog.Logger
 
 	requests atomic.Uint64
+}
+
+// expvar names are process-global and may only be published once, but tests
+// spin up many Servers; the published Funcs read through this pointer to
+// whichever pool the newest Server wraps.
+var (
+	expvarPool atomic.Pointer[jobs.Pool]
+	expvarOnce sync.Once
+)
+
+func publishExpvars() {
+	expvarOnce.Do(func() {
+		obs.PublishBuildInfo()
+		expvar.Publish("resvc_queue_depth", expvar.Func(func() any {
+			if p := expvarPool.Load(); p != nil {
+				return p.Metrics().QueueDepth()
+			}
+			return 0
+		}))
+		expvar.Publish("resvc_cache_entries", expvar.Func(func() any {
+			if p := expvarPool.Load(); p != nil {
+				return p.CacheLen()
+			}
+			return 0
+		}))
+	})
 }
 
 // New wraps pool; zero limits select defaults.
 func New(pool *jobs.Pool, limits Limits) *Server {
 	limits.setDefaults()
-	return &Server{pool: pool, limits: limits, start: time.Now()}
+	expvarPool.Store(pool)
+	publishExpvars()
+	return &Server{pool: pool, limits: limits, start: time.Now(), log: slog.Default()}
 }
 
-// Handler returns the service mux.
+// SetLogger redirects the server's request log (default: slog.Default).
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the service mux, including the /debug/pprof and
+// /debug/vars introspection endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJobByID)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		mux.ServeHTTP(w, r)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		s.log.Debug("http request", "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start), "remote", r.RemoteAddr)
 	})
 }
 

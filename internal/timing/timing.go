@@ -101,6 +101,50 @@ func (p Params) TileCycles(w TileWork) uint64 {
 	return busiest + stall + w.CompareCycles
 }
 
+// GeometryStageCycles splits a frame's geometry work into per-stage
+// occupancies for attribution (tracing, /metrics): vertex covers the
+// programmable front end (fetch + shading, with unhidden miss stalls),
+// tiling covers primitive assembly, binning and Parameter Buffer writes.
+// The pipeline model overlaps these stages, so the split does not sum to
+// GeometryCycles — it answers "where would time go without overlap".
+func (p Params) GeometryStageCycles(w GeometryWork) (vertex, tiling uint64) {
+	vs := divCeil(w.VSInstructions, uint64(p.VertexProcessors))
+	fetch := divCeil(w.VertexBytes, uint64(p.VFetchBytesPerCycle))
+	stall := uint64(float64(w.VertexMissCycles) * (1 - p.GeomOverlap))
+	vertex = maxU64(vs, fetch) + stall
+
+	pa := divCeil(w.Triangles, uint64(p.TrianglesPerCycle))
+	bin := w.BinTilePairs
+	pbBW := divCeil(w.PBWriteBytes, 4)
+	tiling = maxU64(pa, bin, pbBW)
+	return vertex, tiling
+}
+
+// TileStageCycles splits one tile's raster work into per-stage occupancies:
+// sig is the RE signature compare, raster covers Parameter Buffer fetch,
+// triangle setup and quad traversal (with unhidden fetch stalls), fragment
+// covers shading and blending (with unhidden texture stalls), and flush the
+// Color Buffer writeback. For a skipped tile only sig is non-zero. As with
+// GeometryStageCycles the stages overlap in the pipeline model, so the
+// split attributes rather than sums to TileCycles.
+func (p Params) TileStageCycles(w TileWork) (sig, raster, fragment, flush uint64) {
+	sig = w.CompareCycles
+	if w.Skipped {
+		return sig, 0, 0, 0
+	}
+	fetch := divCeil(w.FetchBytes, uint64(p.TileFetchBytesPerCycle))
+	setup := divCeil(w.SetupAttrs, uint64(p.RasterAttrsPerCycle))
+	quads := divCeil(w.Quads, uint64(p.QuadsPerCycle))
+	raster = maxU64(fetch, setup, quads) + uint64(float64(w.FetchMissCycles)*(1-p.GeomOverlap))
+
+	fs := divCeil(w.FSInstructions, uint64(p.FragmentProcessors))
+	blend := divCeil(w.BlendFrags, uint64(p.BlendFragsPerCycle))
+	fragment = maxU64(fs, blend) + uint64(float64(w.TexMissCycles)*(1-p.FragOverlap))
+
+	flush = divCeil(w.FlushBytes, uint64(p.FlushBytesPerCycle))
+	return sig, raster, fragment, flush
+}
+
 // Seconds converts cycles to wall-clock time at the configured frequency.
 func (p Params) Seconds(cycles uint64) float64 { return float64(cycles) / p.FreqHz }
 

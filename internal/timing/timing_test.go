@@ -94,3 +94,57 @@ func TestDivCeilGuards(t *testing.T) {
 		t.Fatal("empty max should be 0")
 	}
 }
+
+func TestGeometryStageCycles(t *testing.T) {
+	p := Default()
+	w := GeometryWork{
+		VSInstructions: 1000, VertexBytes: 640, VertexMissCycles: 100,
+		Triangles: 50, BinTilePairs: 200, PBWriteBytes: 4000, SUStallCycles: 7,
+	}
+	vertex, tiling := p.GeometryStageCycles(w)
+	// vertex = max(1000/1, 640/16) + 100*(1-0.6) = 1000 + 40
+	if vertex != 1040 {
+		t.Fatalf("vertex stage = %d, want 1040", vertex)
+	}
+	// tiling = max(50, 200, 1000)
+	if tiling != 1000 {
+		t.Fatalf("tiling stage = %d, want 1000", tiling)
+	}
+	// Attribution never exceeds what the un-overlapped stages could cost;
+	// each stage alone must be <= the modeled frame total's work terms.
+	total := p.GeometryCycles(w)
+	if vertex > total+w.SUStallCycles && tiling > total {
+		t.Fatalf("stage attribution (%d, %d) implausible vs total %d", vertex, tiling, total)
+	}
+}
+
+func TestTileStageCycles(t *testing.T) {
+	p := Default()
+	w := TileWork{
+		FetchBytes: 320, FetchMissCycles: 10, SetupAttrs: 48, Quads: 64,
+		FSInstructions: 400, TexMissCycles: 40, BlendFrags: 128, FlushBytes: 1024,
+		CompareCycles: 4,
+	}
+	sig, raster, fragment, flush := p.TileStageCycles(w)
+	if sig != 4 {
+		t.Fatalf("sig = %d, want 4", sig)
+	}
+	// raster = max(320/16, 48/16, 64/1) + 10*(1-0.6) = 64 + 4
+	if raster != 68 {
+		t.Fatalf("raster = %d, want 68", raster)
+	}
+	// fragment = max(400/4, 128/4) + 40*(1-0.75) = 100 + 10
+	if fragment != 110 {
+		t.Fatalf("fragment = %d, want 110", fragment)
+	}
+	// flush = 1024/4
+	if flush != 256 {
+		t.Fatalf("flush = %d, want 256", flush)
+	}
+
+	// A skipped tile collapses to the signature compare.
+	sig, raster, fragment, flush = p.TileStageCycles(TileWork{CompareCycles: 4, Skipped: true})
+	if sig != 4 || raster != 0 || fragment != 0 || flush != 0 {
+		t.Fatalf("skipped tile stages = (%d,%d,%d,%d), want (4,0,0,0)", sig, raster, fragment, flush)
+	}
+}
