@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -48,7 +47,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	figs := fs.String("figs", "all", "comma-separated figure list or 'all'")
 	csvDir := fs.String("csv", "", "also write each figure as CSV into this directory")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	workers := fs.Int("workers", 0, "concurrent simulation workers (0 = host CPUs / tile-workers)")
+	tileWorkers := fs.Int("tile-workers", 0, "raster-phase goroutines per simulation (0/1 = serial, -1 = one per CPU); never changes results")
 	tracefile := fs.String("tracefile", "", "write a Chrome trace-event pipeline timeline to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a Go CPU profile to this file")
 	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
@@ -73,7 +73,7 @@ func run(args []string) error {
 	}
 
 	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Seed: *seed}
-	r := exp.NewRunnerWorkers(p, *workers)
+	r := exp.NewRunnerTileWorkers(p, *workers, *tileWorkers)
 	var tracer *obs.Tracer
 	if *tracefile != "" {
 		tracer = obs.NewTracer()

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,8 @@ func run(args []string, stdout io.Writer) error {
 	path := fs.String("trace", "", "trace file (required)")
 	tech := fs.String("tech", "re", "technique: base, re, te, memo")
 	refresh := fs.Int("refresh", 0, "RE periodic refresh interval (0 = off)")
+	tileWorkers := fs.Int("tile-workers", 0, "raster-phase goroutines (0/1 = serial, -1 = one per CPU); never changes results")
+	timeout := fs.Duration("timeout", 0, "abort the replay after this long (0 = none); partial stats are printed")
 	verbose := fs.Bool("v", false, "print per-frame statistics")
 	heatmap := fs.String("heatmap", "", "write a PGM skip heat-map to this file (RE only)")
 	dump := fs.String("dump", "", "write rendered frames as PNGs into this directory")
@@ -72,6 +75,7 @@ func run(args []string, stdout io.Writer) error {
 
 	cfg := gpusim.DefaultConfig()
 	cfg.RefreshInterval = *refresh
+	cfg.TileWorkers = *tileWorkers
 	technique, err := gpusim.ParseTechnique(*tech)
 	if err != nil {
 		return err
@@ -105,17 +109,37 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	log.Debug("replaying trace", "name", tr.Name, "frames", len(tr.Frames),
-		"technique", cfg.Technique.String(), "tracing", *tracefile != "")
-	res := gpusim.Result{Technique: cfg.Technique, Name: tr.Name}
-	for i := range tr.Frames {
-		st := sim.RunFrame(&tr.Frames[i])
-		res.Frames = append(res.Frames, st)
-		res.Total.Add(st)
-		if *dump != "" {
-			if err := dumpFrame(*dump, i, sim, tr); err != nil {
-				return err
+		"technique", cfg.Technique.String(), "tracing", *tracefile != "",
+		"tile_workers", *tileWorkers)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var res gpusim.Result
+	if *dump == "" {
+		// Cancellation is checked at frame boundaries; on timeout the
+		// partial result covers the frames that completed.
+		res, err = sim.RunContext(ctx)
+	} else {
+		// Frame dumping needs the framebuffer between frames, so replay
+		// manually with the same frame-boundary cancellation.
+		res = gpusim.Result{Technique: cfg.Technique, Name: tr.Name}
+		for i := range tr.Frames {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+			st := sim.RunFrame(&tr.Frames[i])
+			res.Frames = append(res.Frames, st)
+			res.Total.Add(st)
+			if derr := dumpFrame(*dump, i, sim, tr); derr != nil {
+				return derr
 			}
 		}
+	}
+	if err != nil {
+		fmt.Fprintf(stdout, "aborted    %v after %d of %d frames\n", err, len(res.Frames), len(tr.Frames))
 	}
 	if *verbose {
 		for i, st := range res.Frames {

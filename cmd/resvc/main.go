@@ -29,7 +29,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -51,7 +50,8 @@ func main() {
 func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals bool) error {
 	fs := flag.NewFlagSet("resvc", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	workers := fs.Int("workers", 0, "concurrent simulation workers (0 = host CPUs / tile-workers)")
+	tileWorkers := fs.Int("tile-workers", 0, "raster-phase goroutines per simulation (0/1 = serial, -1 = one per CPU); never changes results")
 	cacheSize := fs.Int("cache", 512, "LRU result cache entries")
 	timeout := fs.Duration("timeout", 10*time.Minute, "per-job deadline (0 = none)")
 	retries := fs.Int("retries", 2, "transient-failure retries per job")
@@ -69,11 +69,12 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	}
 
 	pool := jobs.New(jobs.Options{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Timeout:   *timeout,
-		Retries:   *retries,
-		Logger:    log,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Logger:      log,
+		TileWorkers: *tileWorkers,
 	})
 	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
 	srv.SetLogger(log)

@@ -36,9 +36,17 @@ func NewRunner(p workload.Params) *Runner {
 
 // NewRunnerWorkers bounds the concurrent simulations to workers.
 func NewRunnerWorkers(p workload.Params, workers int) *Runner {
+	return NewRunnerTileWorkers(p, workers, 0)
+}
+
+// NewRunnerTileWorkers additionally sets each simulation's raster-phase
+// parallelism (gpusim.Config.TileWorkers semantics). With workers <= 0 the
+// pool sizes itself to GOMAXPROCS divided by the tile-worker count, so the
+// two pools compose without oversubscribing the host.
+func NewRunnerTileWorkers(p workload.Params, workers, tileWorkers int) *Runner {
 	// Every (benchmark, technique, variant) of a full reproduction must stay
 	// cached, so size the LRU far above the ~200 runs reexp performs.
-	pool := jobs.New(jobs.Options{Workers: workers, CacheSize: 4096})
+	pool := jobs.New(jobs.Options{Workers: workers, CacheSize: 4096, TileWorkers: tileWorkers})
 	return NewRunnerPool(p, pool)
 }
 

@@ -14,6 +14,7 @@ import (
 	"rendelim/internal/dram"
 	"rendelim/internal/energy"
 	"rendelim/internal/obs"
+	"rendelim/internal/rerr"
 	"rendelim/internal/sig"
 	"rendelim/internal/timing"
 )
@@ -117,6 +118,15 @@ type Config struct {
 	// simulation hot path. Excluded from the job signature: tracing never
 	// changes results.
 	Tracer *obs.Tracer
+
+	// TileWorkers sets how many host goroutines render tiles concurrently
+	// during the raster phase: 0 or 1 runs serially, n > 1 uses exactly n
+	// workers, and a negative value uses one worker per host CPU
+	// (runtime.GOMAXPROCS). This is host parallelism only — simulated
+	// cycles, traffic, classifications and pixels are byte-identical at any
+	// worker count (see parallel.go) — so it is excluded from the job
+	// signature, like Tracer.
+	TileWorkers int
 }
 
 // DefaultConfig returns the Table I configuration.
@@ -146,21 +156,22 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Failures wrap rerr.ErrBadConfig
+// (exported as rendelim.ErrBadConfig) for errors.Is matching.
 func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
-		return err
+		return fmt.Errorf("gpusim: %w: %v", rerr.ErrBadConfig, err)
 	}
 	for _, cc := range []cache.Config{c.VertexCache, c.TextureCache, c.TileCache, c.L2Cache} {
 		if err := cc.Validate(); err != nil {
-			return err
+			return fmt.Errorf("gpusim: %w: %v", rerr.ErrBadConfig, err)
 		}
 	}
 	if c.MemoLUTEntries <= 0 || c.MemoLUTWays <= 0 || c.MemoLUTEntries%c.MemoLUTWays != 0 {
-		return fmt.Errorf("gpusim: bad memo LUT geometry %d/%d", c.MemoLUTEntries, c.MemoLUTWays)
+		return fmt.Errorf("gpusim: %w: bad memo LUT geometry %d/%d", rerr.ErrBadConfig, c.MemoLUTEntries, c.MemoLUTWays)
 	}
 	if c.RefreshInterval < 0 {
-		return fmt.Errorf("gpusim: negative refresh interval")
+		return fmt.Errorf("gpusim: %w: negative refresh interval", rerr.ErrBadConfig)
 	}
 	return nil
 }

@@ -23,11 +23,15 @@ import (
 // first-of-pair frames cannot reuse across frames because their candidates
 // were evicted a whole frame ago (the PFR limitation Section I describes).
 
-// memoState is the PFR-synchronized memoization model.
+// memoState is the PFR-synchronized memoization model. The current tile's
+// hash→color map is passed in explicitly (it lives on the rendering worker),
+// so that concurrent tile renders never share mutable state: prev[tile] is
+// only ever read and written by tile's own render, which keeps it safely
+// per-tile-disjoint under parallel raster execution. The Lookups/Hits
+// counters are folded in by the commit stage from per-tile shards.
 type memoState struct {
 	cap  int
 	prev []map[uint32]geom.Vec4 // per tile: entries from the previous frame
-	cur  map[uint32]geom.Vec4   // entries inserted in the current tile
 
 	Lookups uint64
 	Hits    uint64
@@ -37,26 +41,20 @@ func newMemoState(tiles, lutEntries int) *memoState {
 	return &memoState{cap: lutEntries, prev: make([]map[uint32]geom.Vec4, tiles)}
 }
 
-// beginTile starts shading a tile.
-func (m *memoState) beginTile() { m.cur = make(map[uint32]geom.Vec4, 64) }
-
-// endTile commits the tile's entries as the baseline for the next frame.
-func (m *memoState) endTile(tile int) {
-	m.prev[tile] = m.cur
-	m.cur = nil
+// commitTile records the tile's entries as the baseline for the next frame.
+func (m *memoState) commitTile(tile int, cur map[uint32]geom.Vec4) {
+	m.prev[tile] = cur
 }
 
-// lookup returns a memoized color. crossFrame permits hits against the
-// previous frame's same tile (second frame of a PFR pair).
-func (m *memoState) lookup(tile int, h uint32, crossFrame bool) (geom.Vec4, bool) {
-	m.Lookups++
-	if c, ok := m.cur[h]; ok {
-		m.Hits++
+// lookup returns a memoized color from the current tile's entries, or — when
+// crossFrame permits it (second frame of a PFR pair) — from the previous
+// frame's same tile.
+func (m *memoState) lookup(cur map[uint32]geom.Vec4, tile int, h uint32, crossFrame bool) (geom.Vec4, bool) {
+	if c, ok := cur[h]; ok {
 		return c, true
 	}
 	if crossFrame {
 		if c, ok := m.prev[tile][h]; ok {
-			m.Hits++
 			return c, true
 		}
 	}
@@ -64,11 +62,11 @@ func (m *memoState) lookup(tile int, h uint32, crossFrame bool) (geom.Vec4, bool
 }
 
 // insert memoizes a shaded color, respecting the LUT capacity.
-func (m *memoState) insert(h uint32, color geom.Vec4) {
-	if len(m.cur) >= m.cap {
+func (m *memoState) insert(cur map[uint32]geom.Vec4, h uint32, color geom.Vec4) {
+	if len(cur) >= m.cap {
 		return
 	}
-	m.cur[h] = color
+	cur[h] = color
 }
 
 // memoLUT is the plain global LUT (no PFR tile synchronization) used by the

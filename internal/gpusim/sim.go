@@ -1,8 +1,9 @@
 package gpusim
 
 import (
-	"encoding/binary"
+	"context"
 	"fmt"
+	"runtime"
 
 	"rendelim/internal/api"
 	"rendelim/internal/cache"
@@ -13,6 +14,7 @@ import (
 	"rendelim/internal/geom"
 	"rendelim/internal/obs"
 	"rendelim/internal/rast"
+	"rendelim/internal/rerr"
 	"rendelim/internal/shader"
 	"rendelim/internal/sig"
 	"rendelim/internal/texture"
@@ -56,7 +58,9 @@ func (p dramPort) Write(addr uint64, size int) int {
 }
 
 // Simulator replays a trace on the modeled GPU. Create one per (trace,
-// config) pair; it is not safe for concurrent use.
+// config) pair; it is not safe for concurrent use (the tile-worker
+// parallelism it manages internally is invisible to callers and never
+// changes simulated results — see parallel.go).
 type Simulator struct {
 	cfg   Config
 	trace *api.Trace
@@ -80,7 +84,13 @@ type Simulator struct {
 	textures []*texture.Texture
 
 	vsExec shader.Exec
-	fsExec shader.Exec
+
+	// Raster-phase execution (parallel.go): resolved worker count, the
+	// persistent workers holding all per-goroutine mutable state, and the
+	// per-tile result entries reused across frames.
+	tileWorkers int
+	workers     []*rasterWorker
+	tileRes     []tileResult
 
 	// Per-frame scratch, reused across frames.
 	frame         *Stats
@@ -91,45 +101,18 @@ type Simulator struct {
 	primScratch   []byte
 	clipScratch   []rast.Triangle
 	shadedScratch []rast.Vertex
-	tb            fb.TileBuffer
-	teByteBuf     [fb.TileSize * fb.TileSize * 4]byte
-	texExtraLat   uint64 // texture-cache miss latency within the current tile
 	frameIdx      int
 	clearColor    uint32
-	fsSampler     tileSampler
-	fragHasher    fragmentHasher
 	skipCounts    []uint32
 	signedPipe    api.SetPipeline
 	pipeSigned    bool
 
-	// tr is the pipeline-stage tracing track; nil when tracing is off, and
+	// tracer is the shared sink worker threads register tracks on; tr is the
+	// pipeline-stage tracing track. Both are nil when tracing is off, and
 	// every emission site is gated on that nil so the disabled path costs
 	// nothing (see obs.BenchmarkTracerDisabled).
-	tr *obs.Thread
-}
-
-// tileSampler adapts the texture store to the shader VM, charging every
-// texel to the per-unit texture caches.
-type tileSampler struct {
-	s   *Simulator
-	tex [api.MaxTexUnits]*texture.Texture
-}
-
-// Sample implements shader.Sampler.
-func (ts *tileSampler) Sample(unit int, u, v float32) geom.Vec4 {
-	t := ts.tex[unit]
-	if t == nil {
-		return geom.Vec4{}
-	}
-	s := ts.s
-	s.curClass = TrafficTexel
-	return t.Sample(u, v, func(addr uint64) {
-		c := s.tcache[unit%len(s.tcache)]
-		lat := c.Access(addr, 4, false)
-		if extra := lat - c.Config().Latency; extra > 0 {
-			s.texExtraLat += uint64(extra)
-		}
-	})
+	tracer *obs.Tracer
+	tr     *obs.Thread
 }
 
 // New builds a simulator for the trace. The trace is validated; textures are
@@ -139,7 +122,7 @@ func New(trace *api.Trace, cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	if err := trace.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("gpusim: %w: %v", rerr.ErrBadTrace, err)
 	}
 	s := &Simulator{cfg: cfg, trace: trace}
 	s.dram = dram.New(cfg.DRAM)
@@ -173,10 +156,25 @@ func New(trace *api.Trace, cfg Config) (*Simulator, error) {
 		s.textures[i].Base = addrTexBase + uint64(i)<<24
 	}
 	s.clearColor = texture.PackColor(trace.ClearColor)
-	s.fsSampler.s = s
-	s.fsExec.Sampler = &s.fsSampler
 	s.skipCounts = make([]uint32, s.fbuf.NumTiles())
+
+	// Resolve the tile-worker count: <0 means one worker per host CPU, 0 and
+	// 1 mean serial. Worker state persists across frames.
+	nw := cfg.TileWorkers
+	if nw < 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	s.tileWorkers = nw
+	s.workers = make([]*rasterWorker, nw)
+	for i := range s.workers {
+		s.workers[i] = newRasterWorker(s, i)
+	}
+
 	if cfg.Tracer != nil {
+		s.tracer = cfg.Tracer
 		s.tr = cfg.Tracer.Thread("sim " + trace.Name + " [" + cfg.Technique.String() + "]")
 	}
 	return s, nil
@@ -185,7 +183,11 @@ func New(trace *api.Trace, cfg Config) (*Simulator, error) {
 // SetTracer (re)binds the simulator to a trace sink, opening a new track.
 // A nil tracer disables tracing.
 func (s *Simulator) SetTracer(t *obs.Tracer) {
+	s.tracer = t
 	s.tr = t.Thread("sim " + s.trace.Name + " [" + s.cfg.Technique.String() + "]")
+	for _, w := range s.workers {
+		w.tr = nil // re-register lazily on the new sink
+	}
 }
 
 // SkipCounts returns how many times each tile was bypassed so far, indexed
@@ -220,14 +222,26 @@ type Result struct {
 
 // Run replays every frame of the trace and aggregates statistics.
 func (s *Simulator) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext replays frames until the trace ends or ctx is done, checking
+// cancellation cooperatively at frame boundaries (a frame is the smallest
+// unit of simulated work; mid-frame state is never left half-committed).
+// The partial Result accumulated so far is returned alongside ctx.Err().
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	res := Result{Technique: s.cfg.Technique, Name: s.trace.Name}
 	res.Frames = make([]Stats, 0, len(s.trace.Frames))
 	for i := range s.trace.Frames {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		fs := s.RunFrame(&s.trace.Frames[i])
 		res.Frames = append(res.Frames, fs)
 		res.Total.Add(fs)
 	}
-	return res
+	return res, nil
 }
 
 // RunFrame executes one frame and returns its statistics.
@@ -245,7 +259,6 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	teCRCBefore := s.teCRC.Stats
 	teBufBefore := s.teBuf.Reads + s.teBuf.Writes
 	vsBefore := s.vsExec.Counts
-	fsBefore := s.fsExec.Counts
 	cacheBefore := [4]cache.Stats{s.vcache.Stats, s.tcache[0].Stats, s.tilecache.Stats, s.l2.Stats}
 	var tcacheBefore cache.Stats
 	for _, tc := range s.tcache {
@@ -323,9 +336,7 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 		s.tr.Begin("raster")
 	}
 
-	for tile := 0; tile < s.fbuf.NumTiles(); tile++ {
-		s.rasterTile(tile, &st)
-	}
+	s.rasterPhase(&st)
 	if s.tr != nil {
 		s.tr.End() // raster
 	}
@@ -337,9 +348,11 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	s.fbuf.Swap()
 
 	// Assemble the energy-model activity from counter deltas.
+	// (FSInstructions is accumulated per tile by the raster commit stage —
+	// fragment shaders run on per-worker VMs, so there is no single
+	// cumulative counter to diff.)
 	a := &st.Activity
 	a.VSInstructions = s.vsExec.Counts.Instructions - vsBefore.Instructions
-	a.FSInstructions = s.fsExec.Counts.Instructions - fsBefore.Instructions
 	a.VertexCacheAccesses = s.vcache.Stats.Accesses - cacheBefore[0].Accesses
 	var tcacheNow cache.Stats
 	for _, tc := range s.tcache {
@@ -519,219 +532,8 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 	}
 }
 
-func (s *Simulator) rasterTile(tile int, st *Stats) {
-	st.TilesTotal++
-	var tw timing.TileWork
-
-	if s.cfg.Technique == RE && !s.re.Disabled() {
-		tw.CompareCycles = 4
-		if s.tr != nil {
-			s.tr.BeginArg("re-check", "tile", int64(tile))
-		}
-		skip := s.re.ShouldSkip(tile)
-		if s.tr != nil {
-			s.tr.End() // re-check
-		}
-		if skip {
-			// Rendering Elimination bypass: the whole Raster Pipeline is
-			// skipped and the Frame Buffer keeps the previous colors.
-			tw.Skipped = true
-			st.TilesSkipped++
-			s.skipCounts[tile]++
-			st.TileClasses[TileEqColorEqInput]++
-			st.TilesClassified++
-			st.StageCycles[StageSigCheck] += tw.CompareCycles
-			st.RasterCycles += s.cfg.Timing.TileCycles(tw)
-			if s.tr != nil {
-				s.tr.Instant("tile-eliminated", "tile", int64(tile))
-			}
-			return
-		}
-	}
-
-	rect := s.fbuf.TileRect(tile)
-	s.tb.Clear(s.clearColor)
-	bin := s.binner.Bin(tile)
-	if s.tr != nil {
-		s.tr.BeginArg("raster-tile", "tile", int64(tile))
-	}
-
-	// Tile Scheduler: fetch the tile's pointer list and primitive data from
-	// the Parameter Buffer through the Tile Cache.
-	s.curClass = TrafficPBRead
-	for i, e := range bin {
-		tw.FetchMissCycles += s.accessExtra(s.tilecache, s.binner.PtrAddr(tile)+uint64(i)*tiling.PtrEntryBytes, tiling.PtrEntryBytes, false)
-		tw.FetchMissCycles += s.accessExtra(s.tilecache, e.Addr, e.Bytes, false)
-		tw.FetchBytes += uint64(e.Bytes) + tiling.PtrEntryBytes
-	}
-
-	fsBefore := s.fsExec.Counts
-	s.texExtraLat = 0
-	if s.tr != nil {
-		s.tr.Begin("fragment-shading")
-	}
-	// PFR pairing: the second frame of each pair may reuse the first's
-	// same-tile entries; the first of a pair only reuses intra-frame.
-	crossFrame := s.frameIdx%2 == 1
-	if s.cfg.Technique == Memo {
-		s.memo.beginTile()
-	}
-	var tileFrags uint64
-
-	for _, e := range bin {
-		tri := &s.tris[e.Ref.Tri]
-		draw := &s.draws[e.Ref.Draw]
-		fsProg := s.programs[draw.pipe.FS]
-		for u := range s.fsSampler.tex {
-			s.fsSampler.tex[u] = s.textures[draw.pipe.Tex[u]]
-		}
-		s.fsExec.Consts = draw.uniforms[:]
-		tw.SetupAttrs += uint64(3 * e.NumAttrs * 4)
-
-		depthTest := draw.pipe.DepthTest
-		depthWrite := draw.pipe.DepthWrite
-		blend := draw.pipe.Blend
-
-		tri.st.Rasterize(rect, func(qx, qy int, mask uint8) {
-			tw.Quads++
-			st.QuadsTested++
-			st.Activity.DepthBufferAccesses += 2 // test + conditional update
-		}, func(f *rast.Fragment) {
-			idx := fb.Idx(f.X-rect.X0, f.Y-rect.Y0)
-			if depthTest {
-				if f.Z >= s.tb.Depth[idx] {
-					st.FragsEarlyZKill++
-					return
-				}
-				if depthWrite {
-					s.tb.Depth[idx] = f.Z
-				}
-			}
-			st.FragsRasterized++
-			tileFrags++
-
-			var color geom.Vec4
-			reused := false
-			if s.cfg.Technique == Memo {
-				mask := s.fsMasks[draw.pipe.FS]
-				h := s.fragHasher.hash(uint8(draw.pipe.FS), [4]uint8{
-					uint8(draw.pipe.Tex[0]), uint8(draw.pipe.Tex[1]),
-					uint8(draw.pipe.Tex[2]), uint8(draw.pipe.Tex[3]),
-				}, mask.in, mask.consts, draw.uniforms[:], &f.Var)
-				if c, ok := s.memo.lookup(tile, h, crossFrame); ok {
-					color = c
-					reused = true
-					st.FragsMemoReused++
-				}
-				if !reused {
-					color = s.shadeFragment(fsProg, f)
-					st.FragsShaded++
-					s.memo.insert(h, color)
-				}
-			} else {
-				color = s.shadeFragment(fsProg, f)
-				st.FragsShaded++
-			}
-
-			packed := texture.PackColor(color)
-			if blend == api.BlendAlpha {
-				dst := texture.UnpackColor(s.tb.Color[idx])
-				a := color.W
-				out := color.Scale(a).Add(dst.Scale(1 - a))
-				out.W = a + dst.W*(1-a)
-				packed = texture.PackColor(out)
-				st.Activity.ColorBufferAccesses++ // destination read
-			}
-			s.tb.Color[idx] = packed
-			st.Activity.ColorBufferAccesses++
-		})
-	}
-	if s.cfg.Technique == Memo {
-		s.memo.endTile(tile)
-	}
-	tw.FSInstructions = s.fsExec.Counts.Instructions - fsBefore.Instructions
-	tw.TexMissCycles = s.texExtraLat
-	tw.BlendFrags = tileFrags
-	if s.tr != nil {
-		s.tr.End() // fragment-shading
-	}
-
-	// Ground-truth classification against the frame two swaps back.
-	var eqColor bool
-	if s.cfg.TrackGroundTruth {
-		eqColor = s.fbuf.TileEqualsBack(tile, &s.tb)
-		if match, valid := s.re.BaselineMatch(tile); valid {
-			st.TilesClassified++
-			switch {
-			case eqColor && match:
-				st.TileClasses[TileEqColorEqInput]++
-			case eqColor && !match:
-				st.TileClasses[TileEqColorDiffInput]++
-			case !eqColor && match:
-				st.TileClasses[TileEqInputDiffColor]++ // CRC collision
-			default:
-				st.TileClasses[TileDiffColor]++
-			}
-		}
-	}
-
-	// Transaction Elimination: sign the rendered colors and skip the flush
-	// when they match the Back Buffer's previous contents (Section IV-C).
-	doFlush := true
-	if s.cfg.Technique == TE {
-		w := rect.X1 - rect.X0
-		npx := rect.Area()
-		for i := 0; i < npx; i++ {
-			binary.LittleEndian.PutUint32(s.teByteBuf[i*4:], s.tb.Color[fb.Idx(i%w, i/w)])
-		}
-		colorSig, _ := s.teCRC.Sign(s.teByteBuf[:npx*4])
-		s.teBuf.Store(tile, colorSig)
-		if match, valid := s.teBuf.Match(tile); valid && match {
-			doFlush = false
-		}
-	}
-
-	// Tile flush: write the Color Buffer out to the Frame Buffer in DRAM.
-	if doFlush {
-		if s.tr != nil {
-			s.tr.Begin("dram-flush")
-		}
-		st.FlushesDone++
-		bytes := s.fbuf.FlushTile(tile, &s.tb)
-		tw.FlushBytes = uint64(bytes)
-		st.Activity.ColorBufferAccesses += uint64((bytes + 63) / 64)
-		s.curClass = TrafficColor
-		for y := rect.Y0; y < rect.Y1; y++ {
-			s.dramWrite(s.fbuf.PixelAddr(rect.X0, y), (rect.X1-rect.X0)*4)
-		}
-		if s.tr != nil {
-			s.tr.End() // dram-flush
-		}
-	} else {
-		st.FlushesSkipped++
-	}
-
-	sigC, rastC, fragC, flushC := s.cfg.Timing.TileStageCycles(tw)
-	st.StageCycles[StageSigCheck] += sigC
-	st.StageCycles[StageRaster] += rastC
-	st.StageCycles[StageFragment] += fragC
-	st.StageCycles[StageFlush] += flushC
-	st.RasterCycles += s.cfg.Timing.TileCycles(tw)
-	if s.tr != nil {
-		s.tr.End() // raster-tile
-	}
-}
-
 // dramWrite issues a classified direct-to-DRAM write (tile flush path).
 func (s *Simulator) dramWrite(addr uint64, size int) {
 	s.frame.Traffic[s.curClass] += uint64(size)
 	s.dram.Write(addr, size)
-}
-
-func (s *Simulator) shadeFragment(p *shader.Program, f *rast.Fragment) geom.Vec4 {
-	for i := 0; i < rast.MaxVaryings; i++ {
-		s.fsExec.In[i+1] = f.Var[i]
-	}
-	s.fsExec.Run(p)
-	return s.fsExec.Out[0]
 }

@@ -195,14 +195,35 @@ type RunFunc func(ctx context.Context, spec Spec, observe func(stage string, d t
 
 // Options configures a Pool. Zero values select the documented defaults.
 type Options struct {
-	Workers    int           // concurrent simulations; default GOMAXPROCS
+	Workers    int           // concurrent simulations; default GOMAXPROCS/TileWorkers
 	QueueDepth int           // Submit blocks past this many waiting jobs; default 1024
 	CacheSize  int           // LRU result entries; default 512
 	Timeout    time.Duration // per-job deadline; 0 = none
 	Retries    int           // transient-failure retries; default 0
 	Backoff    time.Duration // initial retry backoff (doubles); default 50ms
-	Run        RunFunc       // job executor; default DefaultRun
+	Run        RunFunc       // job executor; default RunWithTileWorkers(TileWorkers)
 	Logger     *slog.Logger  // structured job-lifecycle logs; default slog.Default
+
+	// TileWorkers sets each simulation's raster-phase parallelism (see
+	// gpusim.Config.TileWorkers): 0 or 1 renders serially, n > 1 uses n
+	// goroutines per running job, negative uses one per host CPU. When
+	// Workers is left zero it defaults to GOMAXPROCS divided by the
+	// effective tile-worker count, so the job pool and the per-job tile
+	// pools compose without oversubscribing the host. Results never depend
+	// on this knob, so it is excluded from job signatures.
+	TileWorkers int
+}
+
+// effectiveTileWorkers resolves the TileWorkers option the way gpusim does.
+func (o Options) effectiveTileWorkers() int {
+	tw := o.TileWorkers
+	if tw < 0 {
+		tw = runtime.GOMAXPROCS(0)
+	}
+	if tw < 1 {
+		tw = 1
+	}
+	return tw
 }
 
 // Pool is the bounded scheduler: a FIFO queue drained by Workers goroutines,
@@ -234,7 +255,12 @@ const registryLimit = 4096
 // New builds a pool and starts its workers.
 func New(opts Options) *Pool {
 	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+		// Share the host between the job pool and each job's tile workers:
+		// Workers * TileWorkers ≈ GOMAXPROCS.
+		opts.Workers = runtime.GOMAXPROCS(0) / opts.effectiveTileWorkers()
+		if opts.Workers < 1 {
+			opts.Workers = 1
+		}
 	}
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 1024
@@ -246,7 +272,7 @@ func New(opts Options) *Pool {
 		opts.Backoff = 50 * time.Millisecond
 	}
 	if opts.Run == nil {
-		opts.Run = DefaultRun
+		opts.Run = RunWithTileWorkers(opts.TileWorkers)
 	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
@@ -502,9 +528,23 @@ func (p *Pool) runOnce(ctx context.Context, spec Spec, observe func(string, time
 }
 
 // DefaultRun builds the trace (decode upload, custom builder, or suite
-// alias), then simulates frame by frame, honoring ctx between frames so
-// timeouts and cancellation interrupt long runs.
+// alias), then simulates with cancellation honored at frame boundaries, so
+// timeouts and cancellation interrupt long runs. Simulations render
+// serially; RunWithTileWorkers parallelizes them.
 func DefaultRun(ctx context.Context, spec Spec, observe func(stage string, d time.Duration)) (gpusim.Result, error) {
+	return runSpec(ctx, spec, observe, 0)
+}
+
+// RunWithTileWorkers returns a RunFunc like DefaultRun whose simulations
+// render tiles on the given number of goroutines (gpusim.Config.TileWorkers
+// semantics). Results are byte-identical at any worker count.
+func RunWithTileWorkers(tileWorkers int) RunFunc {
+	return func(ctx context.Context, spec Spec, observe func(stage string, d time.Duration)) (gpusim.Result, error) {
+		return runSpec(ctx, spec, observe, tileWorkers)
+	}
+}
+
+func runSpec(ctx context.Context, spec Spec, observe func(stage string, d time.Duration), tileWorkers int) (gpusim.Result, error) {
 	buildStart := time.Now()
 	var tr *api.Trace
 	switch {
@@ -525,6 +565,7 @@ func DefaultRun(ctx context.Context, spec Spec, observe func(stage string, d tim
 	}
 	cfg := gpusim.DefaultConfig()
 	cfg.Technique = spec.Tech
+	cfg.TileWorkers = tileWorkers
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}
@@ -535,15 +576,9 @@ func DefaultRun(ctx context.Context, spec Spec, observe func(stage string, d tim
 	observe(StageBuild, time.Since(buildStart))
 
 	simStart := time.Now()
-	res := gpusim.Result{Technique: cfg.Technique, Name: tr.Name}
-	res.Frames = make([]gpusim.Stats, 0, len(tr.Frames))
-	for i := range tr.Frames {
-		if err := ctx.Err(); err != nil {
-			return gpusim.Result{}, err
-		}
-		fs := sim.RunFrame(&tr.Frames[i])
-		res.Frames = append(res.Frames, fs)
-		res.Total.Add(fs)
+	res, err := sim.RunContext(ctx)
+	if err != nil {
+		return gpusim.Result{}, err
 	}
 	observe(StageSimulate, time.Since(simStart))
 	return res, nil

@@ -14,6 +14,7 @@ import (
 
 	"rendelim/internal/api"
 	"rendelim/internal/geom"
+	"rendelim/internal/rerr"
 	"rendelim/internal/shader"
 	"rendelim/internal/texture"
 )
@@ -189,10 +190,10 @@ func Encode(out io.Writer, tr *api.Trace) error {
 func Decode(in io.Reader) (*api.Trace, error) {
 	r := &reader{r: bufio.NewReader(in)}
 	if string(r.bytes(4)) != Magic {
-		return nil, fmt.Errorf("trace: bad magic")
+		return nil, fmt.Errorf("trace: %w: bad magic", rerr.ErrBadTrace)
 	}
 	if v := r.u32(); v != Version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+		return nil, fmt.Errorf("trace: %w: unsupported version %d", rerr.ErrBadTrace, v)
 	}
 	tr := &api.Trace{}
 	tr.Name = r.str()
@@ -210,12 +211,12 @@ func Decode(in io.Reader) (*api.Trace, error) {
 	}
 	nf := int(r.u32())
 	if nf > 1<<20 {
-		return nil, fmt.Errorf("trace: implausible frame count %d", nf)
+		return nil, fmt.Errorf("trace: %w: implausible frame count %d", rerr.ErrBadTrace, nf)
 	}
 	for i := 0; i < nf && r.err == nil; i++ {
 		nc := int(r.u32())
 		if nc > 1<<22 {
-			return nil, fmt.Errorf("trace: implausible command count %d", nc)
+			return nil, fmt.Errorf("trace: %w: implausible command count %d", rerr.ErrBadTrace, nc)
 		}
 		var f api.Frame
 		if nc > 0 {
@@ -227,10 +228,10 @@ func Decode(in io.Reader) (*api.Trace, error) {
 		tr.Frames = append(tr.Frames, f)
 	}
 	if r.err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", r.err)
+		return nil, fmt.Errorf("trace: %w: decode: %v", rerr.ErrBadTrace, r.err)
 	}
 	if err := tr.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: %w: %v", rerr.ErrBadTrace, err)
 	}
 	return tr, nil
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"rendelim/internal/api"
+	"rendelim/internal/rerr"
 	"rendelim/internal/shader"
 )
 
@@ -91,7 +92,7 @@ func ByAlias(alias string) (Benchmark, error) {
 			return b, nil
 		}
 	}
-	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", alias)
+	return Benchmark{}, fmt.Errorf("workload: %w %q", rerr.ErrUnknownBenchmark, alias)
 }
 
 // Extras returns the non-suite reference workloads used by Figure 1:

@@ -26,9 +26,14 @@
 //	base, _ := rendelim.Run(trace, rendelim.WithTechnique(rendelim.Baseline))
 //	re, _ := rendelim.Run(trace, rendelim.WithTechnique(rendelim.RE))
 //	speedup := float64(base.Total.TotalCycles()) / float64(re.Total.TotalCycles())
+//
+// Simulations are configured with functional options (WithTechnique,
+// WithTileWorkers, WithTracer, ...); see Option. WithTileWorkers spreads the
+// raster phase across host CPUs without changing any simulated number.
 package rendelim
 
 import (
+	"context"
 	"io"
 
 	"rendelim/internal/api"
@@ -92,13 +97,6 @@ const (
 // technique).
 func DefaultConfig() Config { return gpusim.DefaultConfig() }
 
-// WithTechnique returns the default configuration with the technique set.
-func WithTechnique(t Technique) Config {
-	cfg := gpusim.DefaultConfig()
-	cfg.Technique = t
-	return cfg
-}
-
 // DefaultParams returns the default benchmark scale (quarter-resolution
 // screen, 50 frames).
 func DefaultParams() Params { return workload.DefaultParams() }
@@ -119,13 +117,42 @@ func Build(alias string, p Params) (*Trace, error) {
 	return b.Build(p), nil
 }
 
-// NewSimulator builds a simulator over a trace.
-func NewSimulator(tr *Trace, cfg Config) (*Simulator, error) {
+// NewSimulator builds a simulator over a trace, configured by opts on top
+// of DefaultConfig. Configuration failures wrap ErrBadConfig; invalid
+// traces wrap ErrBadTrace.
+func NewSimulator(tr *Trace, opts ...Option) (*Simulator, error) {
+	return gpusim.New(tr, buildConfig(opts))
+}
+
+// Run replays the whole trace under the given options and returns
+// aggregated results.
+func Run(tr *Trace, opts ...Option) (Result, error) {
+	return RunContext(context.Background(), tr, opts...)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked at frame
+// boundaries (a frame is the smallest unit of simulated work), and on
+// cancellation the partial result simulated so far is returned alongside
+// ctx.Err().
+func RunContext(ctx context.Context, tr *Trace, opts ...Option) (Result, error) {
+	sim, err := gpusim.New(tr, buildConfig(opts))
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.RunContext(ctx)
+}
+
+// NewSimulatorConfig builds a simulator from a fully explicit Config.
+//
+// Deprecated: use NewSimulator with options (WithConfig for a custom base).
+func NewSimulatorConfig(tr *Trace, cfg Config) (*Simulator, error) {
 	return gpusim.New(tr, cfg)
 }
 
-// Run replays the whole trace under cfg and returns aggregated results.
-func Run(tr *Trace, cfg Config) (Result, error) {
+// RunConfig replays the whole trace under a fully explicit Config.
+//
+// Deprecated: use Run with options (WithConfig for a custom base).
+func RunConfig(tr *Trace, cfg Config) (Result, error) {
 	sim, err := gpusim.New(tr, cfg)
 	if err != nil {
 		return Result{}, err
