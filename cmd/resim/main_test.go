@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -162,6 +163,71 @@ func TestRunCPUProfile(t *testing.T) {
 	if fi.Size() == 0 {
 		t.Error("empty CPU profile")
 	}
+}
+
+// encodeScene writes a small synthetic trace to disk and returns its path.
+func encodeScene(t *testing.T, frames int) string {
+	t.Helper()
+	b, err := workload.ByAlias("ccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Build(workload.Params{Width: 96, Height: 64, Frames: frames, Seed: 1})
+	in := filepath.Join(t.TempDir(), "scene.rdlm")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return in
+}
+
+// A -timeout abort must return errAborted (main maps it to exit code 3, the
+// documented "partial results" code) after printing the partial stats.
+func TestTimeoutAbortReturnsErrAborted(t *testing.T) {
+	in := encodeScene(t, 50)
+	var stdout bytes.Buffer
+	err := run([]string{"-trace", in, "-timeout", "1ns"}, &stdout)
+	if !errors.Is(err, errAborted) {
+		t.Fatalf("err = %v, want errAborted", err)
+	}
+	if !strings.Contains(stdout.String(), "aborted") {
+		t.Errorf("partial-result banner missing:\n%s", stdout.String())
+	}
+	// The stats block must still be printed so partial results are usable.
+	if !strings.Contains(stdout.String(), "cycles") {
+		t.Errorf("partial stats missing:\n%s", stdout.String())
+	}
+}
+
+// Under an always-panic DRAM fault plan, the resilient replay must recover
+// via checkpoints and print statistics byte-identical to a fault-free run.
+func TestInjectResilientReplayByteIdentical(t *testing.T) {
+	in := encodeScene(t, 5)
+	var clean, chaotic bytes.Buffer
+	if err := run([]string{"-trace", in, "-tech", "re"}, &clean); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", in, "-tech", "re", "-v",
+		"-inject", "dram.read:panic:1:3", "-inject-seed", "7"}, &chaotic); err != nil {
+		t.Fatal(err)
+	}
+	// The chaotic run prints per-frame lines too (-v); compare only the
+	// summary block, which both runs share.
+	if !strings.Contains(chaotic.String(), cleanSummary(clean.String())) {
+		t.Fatalf("stats diverge under fault injection:\nclean:\n%s\nchaotic:\n%s", clean.String(), chaotic.String())
+	}
+}
+
+// cleanSummary strips everything before the "trace " headline.
+func cleanSummary(s string) string {
+	if i := strings.Index(s, "trace "); i >= 0 {
+		return s[i:]
+	}
+	return s
 }
 
 // TestRunBadFlags: bad inputs must error, not exit the process.

@@ -6,7 +6,15 @@
 // Usage:
 //
 //	resvc [-addr :8080] [-workers N] [-cache 512] [-timeout 10m] [-retries 2]
-//	      [-log-level info] [-log-format text]
+//	      [-checkpoint-interval 1] [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	      [-inject PLAN] [-inject-seed 1] [-log-level info] [-log-format text]
+//
+// Overload and failure handling: the submission queue is bounded — when it
+// is full, POST /jobs sheds load with 429 + Retry-After instead of queueing
+// unboundedly. A per-benchmark circuit breaker opens after repeated
+// non-transient failures (503 until the cooldown passes). On SIGTERM/SIGINT
+// the service drains gracefully: /healthz flips to 503 {"status":"draining"},
+// the listener closes, and in-flight jobs get -drain to finish.
 //
 // Endpoints:
 //
@@ -32,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"rendelim/internal/fault"
 	"rendelim/internal/jobs"
 	"rendelim/internal/obs"
 	"rendelim/internal/server"
@@ -53,10 +62,15 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	workers := fs.Int("workers", 0, "concurrent simulation workers (0 = host CPUs / tile-workers)")
 	tileWorkers := fs.Int("tile-workers", 0, "raster-phase goroutines per simulation (0/1 = serial, -1 = one per CPU); never changes results")
 	cacheSize := fs.Int("cache", 512, "LRU result cache entries")
-	timeout := fs.Duration("timeout", 10*time.Minute, "per-job deadline (0 = none)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "per-attempt deadline (0 = none)")
 	retries := fs.Int("retries", 2, "transient-failure retries per job")
 	maxBody := fs.Int64("max-body", 64<<20, "max trace upload bytes")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	ckptInterval := fs.Int("checkpoint-interval", 1, "checkpoint the simulator every n frames so retries resume instead of restarting (0 = off)")
+	brkThreshold := fs.Int("breaker-threshold", 5, "consecutive non-transient failures before a benchmark's circuit breaker opens (negative = disabled)")
+	brkCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit breaker rejects before a half-open trial")
+	inject := fs.String("inject", "", "fault-injection plan, e.g. 'dram.read:panic:0.01:4,server.accept:latency:0.1' (chaos testing; empty = off)")
+	injectSeed := fs.Int64("inject-seed", 1, "fault-injection PRNG seed")
 	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
 	logFormat := fs.String("log-format", "", "log format: text or json (default text; env "+obs.EnvLogFormat+")")
 	if err := fs.Parse(args); err != nil {
@@ -68,16 +82,29 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		return err
 	}
 
+	plan, err := fault.Parse(*injectSeed, *inject)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		log.Warn("fault injection armed", "plan", *inject, "seed", *injectSeed)
+	}
+
 	pool := jobs.New(jobs.Options{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		Timeout:     *timeout,
-		Retries:     *retries,
-		Logger:      log,
-		TileWorkers: *tileWorkers,
+		Workers:            *workers,
+		CacheSize:          *cacheSize,
+		Timeout:            *timeout,
+		Retries:            *retries,
+		Logger:             log,
+		TileWorkers:        *tileWorkers,
+		CheckpointInterval: *ckptInterval,
+		BreakerThreshold:   *brkThreshold,
+		BreakerCooldown:    *brkCooldown,
+		Fault:              plan,
 	})
 	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
 	srv.SetLogger(log)
+	srv.SetFaultPlan(plan)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -115,6 +142,9 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		log.Info("draining", "signal", sig.String(), "budget", *drain)
 	}
 
+	// Flip /healthz to 503 "draining" first so load balancers stop routing
+	// here, then stop accepting, then drain the pool.
+	srv.StartDraining()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

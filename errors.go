@@ -19,4 +19,9 @@ var (
 	// fails validation (bad cache geometry, memo LUT shape, DRAM timing, or
 	// refresh interval).
 	ErrBadConfig = rerr.ErrBadConfig
+
+	// ErrWorkerPanic marks a job failure caused by a panic recovered in a
+	// pool worker (after retry/resume budgets were exhausted). Matched with
+	// errors.Is on a failed job's error.
+	ErrWorkerPanic = rerr.ErrWorkerPanic
 )

@@ -218,3 +218,35 @@ func (c *Cache) Flush() int {
 
 // ResetStats zeroes the counters while keeping cache contents.
 func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// Snapshot captures the cache's full replacement state — every line's tag,
+// validity, dirtiness and LRU stamp, plus the LRU clock and counters — so a
+// restored cache produces the same hit/miss/writeback stream (and therefore
+// the same simulated timing) as the original.
+type Snapshot struct {
+	Lines   []line // flattened sets, cfg.Ways entries per set
+	LRUTick uint32
+	Stats   Stats
+}
+
+// Snapshot copies the cache state.
+func (c *Cache) Snapshot() Snapshot {
+	lines := make([]line, 0, len(c.sets)*c.cfg.Ways)
+	for _, set := range c.sets {
+		lines = append(lines, set...)
+	}
+	return Snapshot{Lines: lines, LRUTick: c.lruTick, Stats: c.Stats}
+}
+
+// Restore overwrites the cache state with a snapshot from an identically
+// configured cache; it panics on a geometry mismatch.
+func (c *Cache) Restore(s Snapshot) {
+	if len(s.Lines) != len(c.sets)*c.cfg.Ways {
+		panic(fmt.Sprintf("cache %s: restore geometry mismatch: %d lines != %d", c.cfg.Name, len(s.Lines), len(c.sets)*c.cfg.Ways))
+	}
+	for i, set := range c.sets {
+		copy(set, s.Lines[i*c.cfg.Ways:(i+1)*c.cfg.Ways])
+	}
+	c.lruTick = s.LRUTick
+	c.Stats = s.Stats
+}

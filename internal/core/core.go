@@ -130,3 +130,38 @@ func (c *Controller) EndFrame() {
 	c.unit.EndFrame()
 	c.frameIdx++
 }
+
+// Snapshot captures the controller's cross-frame state: the Signature Unit
+// (buffer contents, datapath counters), the frame counter that drives the
+// periodic-refresh policy, and the decision counters.
+type Snapshot struct {
+	Unit         sig.UnitSnapshot
+	FrameIdx     int
+	Disabled     bool
+	Refresh      bool
+	TilesChecked uint64
+	TilesSkipped uint64
+}
+
+// Snapshot deep-copies the controller state.
+func (c *Controller) Snapshot() Snapshot {
+	return Snapshot{
+		Unit:         c.unit.Snapshot(),
+		FrameIdx:     c.frameIdx,
+		Disabled:     c.disabled,
+		Refresh:      c.refresh,
+		TilesChecked: c.TilesChecked,
+		TilesSkipped: c.TilesSkipped,
+	}
+}
+
+// Restore overwrites the controller with a snapshot from an identically
+// sized controller.
+func (c *Controller) Restore(s Snapshot) {
+	c.unit.Restore(s.Unit)
+	c.frameIdx = s.FrameIdx
+	c.disabled = s.Disabled
+	c.refresh = s.Refresh
+	c.TilesChecked = s.TilesChecked
+	c.TilesSkipped = s.TilesSkipped
+}

@@ -6,7 +6,11 @@
 // the row-activate asymmetry that dominates DRAM power.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"rendelim/internal/fault"
+)
 
 // Config describes the memory system.
 type Config struct {
@@ -82,6 +86,14 @@ type DRAM struct {
 	cfg   Config
 	banks [][]bank
 	Stats Stats
+
+	// Fault, when non-nil, injects faults on every access (sites
+	// fault.SiteDRAMRead / SiteDRAMWrite). Transient and Panic kinds both
+	// panic with the fault error — the cache.NextLevel interface has no
+	// error channel, so an injected fault models an uncorrectable memory
+	// fault and surfaces through the job pool's panic isolation. Latency
+	// kinds sleep host time only and never change simulated results.
+	Fault *fault.Plan
 }
 
 // New builds the DRAM model; it panics on invalid configuration.
@@ -103,6 +115,15 @@ func (d *DRAM) Config() Config { return d.cfg }
 func (d *DRAM) access(addr uint64, size int, write bool) int {
 	if size <= 0 {
 		return 0
+	}
+	if d.Fault != nil {
+		site := fault.SiteDRAMRead
+		if write {
+			site = fault.SiteDRAMWrite
+		}
+		if err := d.Fault.Check(site); err != nil {
+			panic(err)
+		}
 	}
 	// Address mapping: channel-interleaved at row granularity so that
 	// streaming fills spread across channels, then bank, then row.
@@ -155,3 +176,32 @@ func (d *DRAM) MinTransferCycles(n uint64) uint64 {
 
 // ResetStats zeroes the counters while keeping row-buffer state.
 func (d *DRAM) ResetStats() { d.Stats = Stats{} }
+
+// Snapshot captures the open-row state of every bank plus the counters, so
+// a restored model reproduces the same row hit/miss (and therefore latency)
+// sequence as the original.
+type Snapshot struct {
+	Banks []bank // flattened channels, BanksPerChannel entries per channel
+	Stats Stats
+}
+
+// Snapshot copies the model's state.
+func (d *DRAM) Snapshot() Snapshot {
+	banks := make([]bank, 0, d.cfg.Channels*d.cfg.BanksPerChannel)
+	for _, ch := range d.banks {
+		banks = append(banks, ch...)
+	}
+	return Snapshot{Banks: banks, Stats: d.Stats}
+}
+
+// Restore overwrites the model's state with a snapshot from an identically
+// configured model; it panics on a geometry mismatch.
+func (d *DRAM) Restore(s Snapshot) {
+	if len(s.Banks) != d.cfg.Channels*d.cfg.BanksPerChannel {
+		panic(fmt.Sprintf("dram: restore geometry mismatch: %d banks != %d", len(s.Banks), d.cfg.Channels*d.cfg.BanksPerChannel))
+	}
+	for i, ch := range d.banks {
+		copy(ch, s.Banks[i*d.cfg.BanksPerChannel:(i+1)*d.cfg.BanksPerChannel])
+	}
+	d.Stats = s.Stats
+}

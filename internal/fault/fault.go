@@ -1,0 +1,275 @@
+// Package fault is a seeded, deterministic fault-injection framework for
+// chaos-testing the simulation stack. A Plan maps instrumented sites (by
+// name) to a probability, a bounded budget, and a set of fault kinds; each
+// site draws from its own PRNG seeded from (plan seed, site name), so the
+// decision sequence at one site never depends on how often other sites are
+// exercised or on goroutine interleaving — the totals a chaos test observes
+// are reproducible from the seed alone.
+//
+// The disabled path is free: a nil *Plan is a valid receiver and Check
+// returns immediately without allocating (benchmarked at 0 allocs/op, like
+// the obs tracer's nil path), so production code can keep the hooks wired
+// unconditionally.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Instrumented site names. Sites are just strings — these constants cover
+// the stack's built-in hooks.
+const (
+	// SiteDRAMRead / SiteDRAMWrite fire inside the DRAM model's access
+	// path. Injected panics model uncorrectable memory faults; latency
+	// spikes model a saturated memory controller (host-time only — they
+	// never change simulated results).
+	SiteDRAMRead  = "dram.read"
+	SiteDRAMWrite = "dram.write"
+	// SiteTraceDecode fires before a job decodes an uploaded trace binary;
+	// the Corrupt kind hands the decoder deterministically mangled bytes.
+	SiteTraceDecode = "trace.decode"
+	// SiteWorker fires in the job pool between dequeue and execution; the
+	// Panic kind escapes per-attempt recovery and exercises worker
+	// replacement.
+	SiteWorker = "jobs.worker"
+	// SiteServerAccept fires in the HTTP handler before routing.
+	SiteServerAccept = "server.accept"
+)
+
+// Kind is the failure mode an injection takes.
+type Kind uint8
+
+// Fault kinds.
+const (
+	Transient Kind = iota // an error worth retrying
+	Panic                 // a panic thrown from the site
+	Latency               // a host-time sleep (triggers deadlines, changes no results)
+	Corrupt               // deterministically mangled bytes (see Error.Mangle)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Panic:
+		return "panic"
+	case Latency:
+		return "latency"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind is the inverse of String, for flag values.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "transient":
+		return Transient, nil
+	case "panic":
+		return Panic, nil
+	case "latency":
+		return Latency, nil
+	case "corrupt":
+		return Corrupt, nil
+	}
+	return Transient, fmt.Errorf("fault: unknown kind %q (want transient, panic, latency or corrupt)", s)
+}
+
+// Site configures injection at one site.
+type Site struct {
+	// Prob is the per-draw injection probability in [0, 1].
+	Prob float64
+	// Kinds are the candidate failure modes; an injection picks one
+	// uniformly. Empty defaults to Transient only.
+	Kinds []Kind
+	// Limit bounds how many faults the site may inject in total; 0 means
+	// unlimited. Chaos tests use it to keep retry budgets sufficient.
+	Limit int
+	// Latency is the sleep duration for Latency-kind faults; default 1ms.
+	Latency time.Duration
+}
+
+// ErrInjected is the sentinel every injected fault error matches with
+// errors.Is, so retry policies can treat injections as transient.
+var ErrInjected = errors.New("fault: injected")
+
+// Error is one injected fault. Its fields identify the injection
+// deterministically: Seq is the site's 1-based fired count.
+type Error struct {
+	Site string
+	Kind Kind
+	Seq  int
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (#%d)", e.Kind, e.Site, e.Seq)
+}
+
+// Is matches ErrInjected.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// Mangle returns a corrupted copy of b, deterministic in the error's
+// identity: a handful of byte positions XORed with non-zero values. The
+// input is never modified.
+func (e *Error) Mangle(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(int64(e.Seq)*7919 + int64(len(b))))
+	n := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		out[rng.Intn(len(out))] ^= byte(1 + rng.Intn(255))
+	}
+	return out
+}
+
+// siteState is one registered site's mutable state.
+type siteState struct {
+	Site
+	rng   *rand.Rand
+	fired int
+}
+
+// Plan is a registry of sites to inject faults at. The zero value of the
+// pointer (nil) is a valid, disabled plan. Check is safe for concurrent use.
+type Plan struct {
+	seed int64
+
+	mu    sync.Mutex
+	sites map[string]*siteState
+}
+
+// New creates an empty plan with the given seed.
+func New(seed int64) *Plan {
+	return &Plan{seed: seed, sites: make(map[string]*siteState)}
+}
+
+// Seed returns the plan's seed, for logging reproduction instructions.
+func (p *Plan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// With registers (or replaces) a site and returns the plan for chaining.
+// The site's PRNG is seeded from the plan seed and the site name, so
+// registration order and cross-site interleaving never change a site's
+// decision sequence.
+func (p *Plan) With(name string, s Site) *Plan {
+	if len(s.Kinds) == 0 {
+		s.Kinds = []Kind{Transient}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	p.mu.Lock()
+	p.sites[name] = &siteState{
+		Site: s,
+		rng:  rand.New(rand.NewSource(p.seed ^ int64(h.Sum64()))),
+	}
+	p.mu.Unlock()
+	return p
+}
+
+// Check draws once at the named site. It returns nil on a nil plan, an
+// unregistered site, an exhausted budget, or a no-fault draw. Otherwise it
+// injects: Panic panics with a *Error, Latency sleeps and returns nil, and
+// Transient/Corrupt return a *Error (matching ErrInjected) for the caller
+// to surface.
+func (p *Plan) Check(site string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	st := p.sites[site]
+	if st == nil || (st.Limit > 0 && st.fired >= st.Limit) || st.Prob <= 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	if st.rng.Float64() >= st.Prob {
+		p.mu.Unlock()
+		return nil
+	}
+	st.fired++
+	e := &Error{Site: site, Kind: st.Kinds[st.rng.Intn(len(st.Kinds))], Seq: st.fired}
+	lat := st.Latency
+	p.mu.Unlock()
+
+	switch e.Kind {
+	case Latency:
+		if lat <= 0 {
+			lat = time.Millisecond
+		}
+		time.Sleep(lat)
+		return nil
+	case Panic:
+		panic(e)
+	}
+	return e
+}
+
+// Fired returns how many faults the named site has injected so far
+// (latency spikes included).
+func (p *Plan) Fired(site string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st := p.sites[site]; st != nil {
+		return st.fired
+	}
+	return 0
+}
+
+// Parse builds a plan from a comma-separated flag value of
+// site:kind:prob[:limit[:latency]] entries, e.g.
+//
+//	dram.read:panic:0.001:2,jobs.worker:transient:0.3,server.accept:latency:0.1:0:50ms
+//
+// An empty spec returns a nil (disabled) plan.
+func Parse(seed int64, spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := New(seed)
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 3 || len(parts) > 5 {
+			return nil, fmt.Errorf("fault: bad spec entry %q (want site:kind:prob[:limit[:latency]])", entry)
+		}
+		kind, err := ParseKind(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		prob, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("fault: bad probability %q in %q", parts[2], entry)
+		}
+		s := Site{Prob: prob, Kinds: []Kind{kind}}
+		if len(parts) >= 4 {
+			if s.Limit, err = strconv.Atoi(parts[3]); err != nil || s.Limit < 0 {
+				return nil, fmt.Errorf("fault: bad limit %q in %q", parts[3], entry)
+			}
+		}
+		if len(parts) == 5 {
+			if s.Latency, err = time.ParseDuration(parts[4]); err != nil {
+				return nil, fmt.Errorf("fault: bad latency %q in %q", parts[4], entry)
+			}
+		}
+		p.With(parts[0], s)
+	}
+	return p, nil
+}

@@ -131,6 +131,36 @@ func (f *FrameBuffer) FlushTile(tile int, tb *TileBuffer) int {
 	return r.Area() * 4
 }
 
+// Snapshot captures both buffers and the display orientation, for
+// frame-boundary checkpointing.
+type Snapshot struct {
+	Bufs  [2][]uint32
+	Front int
+}
+
+// Snapshot deep-copies the framebuffer state.
+func (f *FrameBuffer) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range f.bufs {
+		s.Bufs[i] = append([]uint32(nil), f.bufs[i]...)
+	}
+	s.Front = f.front
+	return s
+}
+
+// Restore overwrites the framebuffer with a snapshot taken from an
+// identically sized framebuffer; it panics on a size mismatch (checkpoint
+// compatibility is the caller's contract).
+func (f *FrameBuffer) Restore(s Snapshot) {
+	for i := range f.bufs {
+		if len(s.Bufs[i]) != len(f.bufs[i]) {
+			panic(fmt.Sprintf("fb: restore size mismatch: %d != %d", len(s.Bufs[i]), len(f.bufs[i])))
+		}
+		copy(f.bufs[i], s.Bufs[i])
+	}
+	f.front = s.Front
+}
+
 // TileColors copies the back buffer contents of a tile into dst (row-major
 // within the tile rect) and returns the pixel count; used by Transaction
 // Elimination to sign rendered colors.

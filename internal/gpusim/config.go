@@ -13,6 +13,7 @@ import (
 	"rendelim/internal/cache"
 	"rendelim/internal/dram"
 	"rendelim/internal/energy"
+	"rendelim/internal/fault"
 	"rendelim/internal/obs"
 	"rendelim/internal/rerr"
 	"rendelim/internal/sig"
@@ -118,6 +119,13 @@ type Config struct {
 	// simulation hot path. Excluded from the job signature: tracing never
 	// changes results.
 	Tracer *obs.Tracer
+
+	// Fault, when non-nil, threads a fault-injection plan into the
+	// simulator (currently the DRAM model's dram.read / dram.write sites).
+	// Injection is host-level chaos: a run that completes despite faults
+	// is byte-identical to a fault-free run, so — like Tracer and
+	// TileWorkers — the plan is excluded from the job signature.
+	Fault *fault.Plan
 
 	// TileWorkers sets how many host goroutines render tiles concurrently
 	// during the raster phase: 0 or 1 runs serially, n > 1 uses exactly n

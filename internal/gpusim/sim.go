@@ -126,6 +126,10 @@ func New(trace *api.Trace, cfg Config) (*Simulator, error) {
 	}
 	s := &Simulator{cfg: cfg, trace: trace}
 	s.dram = dram.New(cfg.DRAM)
+	// DRAM accesses happen only on serial phases (geometry and raster
+	// commit), never inside parallel render workers, so injected panics
+	// always unwind through RunFrame on the calling goroutine.
+	s.dram.Fault = cfg.Fault
 	port := dramPort{s}
 	s.l2 = cache.New(cfg.L2Cache, port)
 	s.vcache = cache.New(cfg.VertexCache, s.l2)
@@ -218,6 +222,12 @@ type Result struct {
 	Name      string
 	Frames    []Stats
 	Total     Stats
+
+	// FBCRC is the CRC32 of the displayed framebuffer after the final
+	// frame, set when a run completes every frame. It extends result
+	// comparisons (chaos soak, determinism tests) to the rendered pixels
+	// without carrying the framebuffer itself.
+	FBCRC uint32
 }
 
 // Run replays every frame of the trace and aggregates statistics.
@@ -241,7 +251,21 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 		res.Frames = append(res.Frames, fs)
 		res.Total.Add(fs)
 	}
+	res.FBCRC = s.FrameBufferCRC()
 	return res, nil
+}
+
+// FrameBufferCRC signs the displayed (front) buffer; see Result.FBCRC.
+func (s *Simulator) FrameBufferCRC() uint32 {
+	front := s.fbuf.Front()
+	buf := make([]byte, len(front)*4)
+	for i, px := range front {
+		buf[i*4] = byte(px)
+		buf[i*4+1] = byte(px >> 8)
+		buf[i*4+2] = byte(px >> 16)
+		buf[i*4+3] = byte(px >> 24)
+	}
+	return crc.Checksum(buf)
 }
 
 // RunFrame executes one frame and returns its statistics.

@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is the sentinel matched by errors.Is for circuit-breaker
+// rejections; the concrete error is *BreakerOpenError.
+var ErrBreakerOpen = errors.New("jobs: circuit breaker open")
+
+// BreakerOpenError rejects a submission whose benchmark's breaker is open.
+type BreakerOpenError struct {
+	Benchmark  string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("jobs: circuit breaker open for %q (retry after %v)", e.Benchmark, e.RetryAfter.Round(time.Second))
+}
+
+// Is matches ErrBreakerOpen.
+func (e *BreakerOpenError) Is(target error) bool { return target == ErrBreakerOpen }
+
+// breaker is a per-benchmark circuit breaker. Each key counts *consecutive*
+// terminal non-transient failures; at threshold the circuit opens and
+// submissions for that key are rejected until cooldown passes, after which a
+// single half-open trial is admitted — its outcome closes or re-opens the
+// circuit. Transient failures never trip it: they are the retry path's
+// business, and with fault injection enabled they are expected.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu   sync.Mutex
+	keys map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	failures int       // consecutive non-transient failures
+	openedAt time.Time // zero while closed
+	halfOpen bool      // one trial admitted after cooldown
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, keys: make(map[string]*breakerEntry)}
+}
+
+// check reports whether the key's circuit is open. After cooldown it admits
+// exactly one half-open trial (returning open=false for it).
+func (b *breaker) check(key string) (retryAfter time.Duration, open bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.keys[key]
+	if e == nil || e.openedAt.IsZero() {
+		return 0, false
+	}
+	remaining := b.cooldown - time.Since(e.openedAt)
+	if remaining > 0 {
+		return remaining, true
+	}
+	if e.halfOpen {
+		// A trial is already in flight; keep rejecting until it resolves.
+		return b.cooldown, true
+	}
+	e.halfOpen = true
+	return 0, false
+}
+
+// onSuccess closes the key's circuit and resets its failure count. The
+// entry is created if absent so the resvc_breaker_open gauge reports every
+// benchmark the pool has executed, open or closed.
+func (b *breaker) onSuccess(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.keys[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.keys[key] = e
+	}
+	*e = breakerEntry{}
+}
+
+// onFailure records a terminal non-transient failure, opening (or
+// re-opening, for a failed half-open trial) the circuit at threshold.
+func (b *breaker) onFailure(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.keys[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.keys[key] = e
+	}
+	e.failures++
+	if e.halfOpen || e.failures >= b.threshold {
+		e.openedAt = time.Now()
+		e.halfOpen = false
+	}
+}
+
+// snapshot returns the open/closed state per key, for the metrics gauge.
+func (b *breaker) snapshot() map[string]bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]bool, len(b.keys))
+	for k, e := range b.keys {
+		out[k] = !e.openedAt.IsZero() && time.Since(e.openedAt) < b.cooldown
+	}
+	return out
+}
+
+// BreakerState reports each benchmark bucket the breaker has seen and
+// whether its circuit is currently open. Nil when the breaker is disabled.
+func (p *Pool) BreakerState() map[string]bool {
+	if p.brk == nil {
+		return nil
+	}
+	return p.brk.snapshot()
+}

@@ -1,0 +1,389 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rendelim/internal/fault"
+	"rendelim/internal/gpusim"
+	"rendelim/internal/trace"
+	"rendelim/internal/workload"
+)
+
+// chaosParams keeps the soak fast enough for -race CI while still exercising
+// multi-frame checkpointing.
+var chaosParams = workload.Params{Width: 64, Height: 48, Frames: 4, Seed: 1}
+
+// chaosSpecs is the soak workload: the whole Table II suite plus one
+// uploaded-trace job (so the trace.decode fault site is exercised too).
+func chaosSpecs(t *testing.T) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, b := range workload.Suite() {
+		specs = append(specs, Spec{Alias: b.Alias, Params: chaosParams, Tech: gpusim.RE})
+	}
+	b, err := workload.ByAlias("ccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, b.Build(chaosParams)); err != nil {
+		t.Fatal(err)
+	}
+	specs = append(specs, Spec{TraceBin: buf.Bytes(), Tech: gpusim.RE})
+	return specs
+}
+
+// runSuite submits every spec to the pool and waits for all of them.
+func runSuite(t *testing.T, p *Pool, specs []Spec) []gpusim.Result {
+	t.Helper()
+	jobsList := make([]*Job, len(specs))
+	for i, s := range specs {
+		j, err := p.Submit(s)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobsList[i] = j
+	}
+	results := make([]gpusim.Result, len(specs))
+	for i, j := range jobsList {
+		res, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("job %d (%s): %v", i, j.ID, err)
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// TestChaosSoak runs the full benchmark suite under an aggressive seeded
+// fault plan — worker panics, mid-simulation DRAM panics, corrupted trace
+// reads — and asserts the three invariants of the failure model: results are
+// byte-identical to a fault-free run (per-frame stats and framebuffer CRC),
+// every job reaches a terminal state, and the worker count never decreases.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is seconds-long; skipped in -short")
+	}
+	specs := chaosSpecs(t)
+
+	// Fault-free baseline, same runner and checkpoint cadence.
+	base := New(Options{Workers: 4, Retries: 20, Backoff: time.Millisecond, CheckpointInterval: 1})
+	want := runSuite(t, base, specs)
+	base.Close(context.Background())
+
+	// The total fault budget (sum of Limits) is far below the per-job retry
+	// budget, so every job must eventually complete.
+	plan := fault.New(42).
+		With(fault.SiteWorker, fault.Site{Prob: 0.3, Limit: 6, Kinds: []fault.Kind{fault.Panic, fault.Transient}}).
+		With(fault.SiteDRAMRead, fault.Site{Prob: 0.002, Limit: 8, Kinds: []fault.Kind{fault.Panic}}).
+		With(fault.SiteTraceDecode, fault.Site{Prob: 0.5, Limit: 2, Kinds: []fault.Kind{fault.Corrupt}})
+
+	const workers = 4
+	chaos := New(Options{Workers: workers, Retries: 20, Backoff: time.Millisecond,
+		CheckpointInterval: 1, Fault: plan})
+	defer chaos.Close(context.Background())
+
+	got := runSuite(t, chaos, specs)
+
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("spec %d (%s): result diverges under fault injection", i, specs[i].Alias)
+		}
+		if got[i].FBCRC != want[i].FBCRC {
+			t.Errorf("spec %d (%s): framebuffer CRC %08x != %08x", i, specs[i].Alias, got[i].FBCRC, want[i].FBCRC)
+		}
+	}
+
+	// Every job terminal (runSuite's Waits returned, so Done; double-check
+	// via the registry states for the "no job stuck non-terminal" clause).
+	for i := 0; i < len(specs); i++ {
+		id := fmt.Sprintf("j-%06d", i)
+		if j, ok := chaos.Get(id); ok {
+			if st := j.State(); st != Done {
+				t.Errorf("job %s stuck in state %v", id, st)
+			}
+		}
+	}
+
+	// The worker pool must have healed every panic: poll because the
+	// replacement goroutine increments the live count asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for chaos.WorkerCount() < workers && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := chaos.WorkerCount(); n < workers {
+		t.Errorf("worker count %d < %d: pool shrank under panics", n, workers)
+	}
+
+	// The plan must actually have fired, or the soak proved nothing.
+	fired := plan.Fired(fault.SiteWorker) + plan.Fired(fault.SiteDRAMRead) + plan.Fired(fault.SiteTraceDecode)
+	if fired == 0 {
+		t.Fatal("no faults fired; the soak exercised nothing")
+	}
+	if chaos.Metrics().Panics.Load() == 0 {
+		t.Error("no panics recorded despite panic-kind faults")
+	}
+}
+
+// TestChaosResumeAfterTimeout is the checkpoint/resume acceptance check: an
+// injected DRAM latency spike makes the first attempt blow its per-attempt
+// deadline after frame 0 completes; the retry must resume from the
+// checkpoint, so total frames simulated stays below 2x the trace length and
+// the result is byte-identical to a clean run.
+func TestChaosResumeAfterTimeout(t *testing.T) {
+	sp := Spec{Alias: "ccs", Params: workload.Params{Width: 96, Height: 64, Frames: 6, Seed: 1}, Tech: gpusim.RE}
+
+	clean := New(Options{Workers: 1, CheckpointInterval: 1})
+	want := runSuite(t, clean, []Spec{sp})[0]
+	clean.Close(context.Background())
+
+	// The latency spike fires exactly once, on the first DRAM read of
+	// frame 0, and exceeds the per-attempt timeout; cancellation is only
+	// checked at frame boundaries, so frame 0 completes and is
+	// checkpointed before the attempt dies.
+	plan := fault.New(1).
+		With(fault.SiteDRAMRead, fault.Site{Prob: 1, Limit: 1, Kinds: []fault.Kind{fault.Latency}, Latency: 1500 * time.Millisecond})
+	p := New(Options{Workers: 1, Timeout: 500 * time.Millisecond, Retries: 10,
+		Backoff: time.Millisecond, CheckpointInterval: 1, Fault: plan})
+	defer p.Close(context.Background())
+
+	got := runSuite(t, p, []Spec{sp})[0]
+	if !reflect.DeepEqual(got, want) {
+		t.Error("result diverges after timeout + resume")
+	}
+
+	m := p.Metrics()
+	if m.Timeouts.Load() == 0 {
+		t.Error("per-attempt timeout never fired")
+	}
+	if m.Resumed.Load() == 0 {
+		t.Error("retry did not resume from the checkpoint")
+	}
+	frames := uint64(sp.Params.Frames)
+	if got := m.FramesSimulated.Load(); got >= 2*frames {
+		t.Errorf("%d frames simulated across attempts, want < %d (resume must skip completed frames)", got, 2*frames)
+	} else if got != frames+1 {
+		// Frame 0 ran twice (once before the timeout, once... no: the
+		// checkpoint covers frame 0, so only the boundary check re-runs).
+		// Expected: 6 frames + 0 re-runs = frames on attempt 1 (1 frame)
+		// and frames-1 on attempt 2.
+		t.Logf("frames simulated = %d (informational; hard bound is < %d)", got, 2*frames)
+	}
+}
+
+// TestChaosWorkerPanicReplacement: a panic that escapes the per-attempt
+// recover (injected at the worker site, outside runOnce) kills the worker
+// goroutine; the pool must replace it, requeue the job, and finish
+// everything with no shrinkage.
+func TestChaosWorkerPanicReplacement(t *testing.T) {
+	plan := fault.New(3).
+		With(fault.SiteWorker, fault.Site{Prob: 1, Limit: 3, Kinds: []fault.Kind{fault.Panic}})
+	var runs atomic.Int64
+	const workers = 2
+	p := New(Options{Workers: workers, Retries: 5, Backoff: time.Millisecond,
+		Fault: plan, Run: fakeRun(&runs, 0)})
+	defer p.Close(context.Background())
+
+	var js []*Job
+	for _, alias := range []string{"ccs", "mst", "hop", "coc"} {
+		j, err := p.Submit(spec(alias))
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	for _, j := range js {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("%s: %v", j.ID, err)
+		}
+	}
+	if got := plan.Fired(fault.SiteWorker); got != 3 {
+		t.Errorf("worker faults fired = %d, want 3", got)
+	}
+	if got := p.Metrics().Panics.Load(); got != 3 {
+		t.Errorf("resvc_jobs_panics_total = %d, want 3", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.WorkerCount() < workers && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := p.WorkerCount(); n != workers {
+		t.Errorf("worker count %d, want %d", n, workers)
+	}
+}
+
+// TestCloseDrainNoLeaks: Close under deadline pressure, with jobs queued and
+// in flight, must leave no job in Running state and leak no goroutines.
+func TestCloseDrainNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var runs atomic.Int64
+	p := New(Options{Workers: 3, Run: fakeRun(&runs, 200*time.Millisecond)})
+	var js []*Job
+	for _, alias := range []string{"ccs", "mst", "hop", "coc", "cde", "ctr", "abi", "csn"} {
+		j, err := p.Submit(spec(alias))
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Deadline pressure cancelled the stragglers; either way every job must
+	// be terminal — nothing stuck Running or Queued forever.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		terminal := 0
+		for _, j := range js {
+			if st := j.State(); st == Done || st == Failed {
+				terminal++
+			}
+		}
+		if terminal == len(js) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, j := range js {
+		if st := j.State(); st != Done && st != Failed {
+			t.Errorf("job %s left in state %v after Close", j.ID, st)
+		}
+	}
+
+	// Workers and their runs must be gone. Allow slack for runtime
+	// background goroutines.
+	deadline = time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines %d -> %d: pool leaked", before, after)
+	}
+}
+
+// TestTrySubmitShedsLoad: with the queue full, TrySubmit must reject with
+// ErrOverloaded immediately instead of blocking, and count the shed.
+func TestTrySubmitShedsLoad(t *testing.T) {
+	block := make(chan struct{})
+	run := func(ctx context.Context, spec Spec, observe func(string, time.Duration)) (gpusim.Result, error) {
+		select {
+		case <-block:
+			return gpusim.Result{Name: spec.Alias}, nil
+		case <-ctx.Done():
+			return gpusim.Result{}, ctx.Err()
+		}
+	}
+	p := New(Options{Workers: 1, QueueDepth: 1, Run: run})
+	defer func() { close(block); p.Close(context.Background()) }()
+
+	a, err := p.Submit(spec("ccs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked a up, so the next submit occupies the
+	// queue's single slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.State() != Running && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.State() != Running {
+		t.Fatal("first job never started")
+	}
+	if _, err := p.TrySubmit(spec("mst")); err != nil {
+		t.Fatalf("queue-filling submit: %v", err)
+	}
+	_, err = p.TrySubmit(spec("hop"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := p.Metrics().LoadShed.Load(); got != 1 {
+		t.Errorf("resvc_load_shed_total = %d, want 1", got)
+	}
+}
+
+// TestBreakerOpensAndRecovers: repeated non-transient failures of one
+// benchmark open its circuit; submissions are rejected with a typed
+// retryable error until the cooldown passes, then a half-open trial's
+// success closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	run := func(ctx context.Context, spec Spec, observe func(string, time.Duration)) (gpusim.Result, error) {
+		if failing.Load() {
+			return gpusim.Result{}, errors.New("permanent defect")
+		}
+		return gpusim.Result{Name: spec.Alias}, nil
+	}
+	p := New(Options{Workers: 1, Run: run, BreakerThreshold: 2, BreakerCooldown: 100 * time.Millisecond})
+	defer p.Close(context.Background())
+
+	// Two terminal failures trip the breaker (threshold 2). Vary the seed
+	// so neither the cache nor singleflight eliminates the submissions.
+	for i := 0; i < 2; i++ {
+		sp := spec("ccs")
+		sp.Params.Seed = int64(i + 1)
+		j, err := p.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err == nil {
+			t.Fatal("failing run succeeded")
+		}
+	}
+
+	sp := spec("ccs")
+	sp.Params.Seed = 99
+	_, err := p.Submit(sp)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	var bo *BreakerOpenError
+	if !errors.As(err, &bo) || bo.Benchmark != "ccs" || bo.RetryAfter <= 0 {
+		t.Fatalf("bad BreakerOpenError: %+v", err)
+	}
+	if st := p.BreakerState(); !st["ccs"] {
+		t.Errorf("breaker state for ccs = %v, want open", st)
+	}
+	if got := p.Metrics().BreakerRejected.Load(); got == 0 {
+		t.Error("resvc_breaker_rejected_total = 0")
+	}
+
+	// Unrelated benchmarks are unaffected.
+	failing.Store(false)
+	if j, err := p.Submit(spec("mst")); err != nil {
+		t.Fatalf("unrelated benchmark rejected: %v", err)
+	} else if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the cooldown a half-open trial is admitted; its success closes
+	// the circuit for good.
+	time.Sleep(120 * time.Millisecond)
+	trial, err := p.Submit(sp)
+	if err != nil {
+		t.Fatalf("half-open trial rejected: %v", err)
+	}
+	if _, err := trial.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.BreakerState(); st["ccs"] {
+		t.Error("breaker still open after successful trial")
+	}
+	sp.Params.Seed = 100
+	if _, err := p.Submit(sp); err != nil {
+		t.Fatalf("closed breaker still rejecting: %v", err)
+	}
+}

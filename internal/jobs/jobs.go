@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,7 +24,9 @@ import (
 	"rendelim/internal/api"
 	"rendelim/internal/crc"
 	"rendelim/internal/energy"
+	"rendelim/internal/fault"
 	"rendelim/internal/gpusim"
+	"rendelim/internal/rerr"
 	"rendelim/internal/trace"
 	"rendelim/internal/workload"
 )
@@ -76,6 +79,20 @@ func (s *Spec) Key() Key {
 	return Key{TraceSig: tsig, CfgHash: cfg}
 }
 
+// breakerKey buckets the spec for the per-benchmark circuit breaker:
+// uploaded traces share one bucket ("upload" — their failure modes are about
+// decode and limits, not a named benchmark), alias and custom-builder specs
+// are keyed by benchmark name.
+func (s *Spec) breakerKey() string {
+	if len(s.TraceBin) > 0 {
+		return "upload"
+	}
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return "custom"
+}
+
 // transientError marks failures worth retrying.
 type transientError struct{ err error }
 
@@ -90,14 +107,32 @@ func Transient(err error) error {
 	return &transientError{err: err}
 }
 
-// IsTransient reports whether err is retryable.
+// IsTransient reports whether err is retryable. Worker panics and injected
+// faults count: a panic is isolated to one attempt (the next attempt resumes
+// from the job's last checkpoint), and fault injections model transient
+// infrastructure failures by construction.
 func IsTransient(err error) bool {
 	var t *transientError
-	return errors.As(err, &t)
+	return errors.As(err, &t) ||
+		errors.Is(err, rerr.ErrWorkerPanic) ||
+		errors.Is(err, fault.ErrInjected)
 }
 
 // ErrClosed is returned by Submit after Close has begun draining.
 var ErrClosed = errors.New("jobs: pool closed")
+
+// ErrOverloaded is returned by TrySubmit when the submission queue is full
+// (load shedding; the server maps it to HTTP 429).
+var ErrOverloaded = errors.New("jobs: queue full")
+
+// panicError converts a recovered panic value into an error wrapping
+// rerr.ErrWorkerPanic (and the original error, if the panic carried one).
+func panicError(r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("jobs: run panicked: %w: %w", rerr.ErrWorkerPanic, err)
+	}
+	return fmt.Errorf("jobs: run panicked: %w: %v", rerr.ErrWorkerPanic, r)
+}
 
 // State is a job's lifecycle position.
 type State int32
@@ -136,6 +171,22 @@ type Job struct {
 	spec  Spec
 	call  *call
 	state atomic.Int32 // mirrors call completion; Running set by worker
+
+	// resume carries checkpoint state across retry attempts and worker
+	// panics, so recovery continues from the last completed frame instead
+	// of recomputing from frame 0. Owned by the single worker executing
+	// the job (workers never share an in-flight job).
+	resume *resume
+	// panics counts worker-level panics while this job was in flight,
+	// bounding how often it is requeued.
+	panics atomic.Int32
+}
+
+// resume is a job's recovery state: the last frame-boundary checkpoint and
+// the stats of every frame completed before it.
+type resume struct {
+	cp     *gpusim.Checkpoint
+	frames []gpusim.Stats
 }
 
 // Wait blocks until the job completes (or ctx expires — which abandons the
@@ -198,11 +249,32 @@ type Options struct {
 	Workers    int           // concurrent simulations; default GOMAXPROCS/TileWorkers
 	QueueDepth int           // Submit blocks past this many waiting jobs; default 1024
 	CacheSize  int           // LRU result entries; default 512
-	Timeout    time.Duration // per-job deadline; 0 = none
-	Retries    int           // transient-failure retries; default 0
+	Timeout    time.Duration // per-attempt deadline; 0 = none
+	Retries    int           // transient-failure/timeout retries; default 0
 	Backoff    time.Duration // initial retry backoff (doubles); default 50ms
-	Run        RunFunc       // job executor; default RunWithTileWorkers(TileWorkers)
+	Run        RunFunc       // job executor; default: built-in resumable runner
 	Logger     *slog.Logger  // structured job-lifecycle logs; default slog.Default
+
+	// CheckpointInterval makes the built-in runner snapshot the simulator
+	// every n completed frames, so a retried attempt (transient failure,
+	// panic, or per-attempt timeout) resumes from the last checkpoint
+	// instead of frame 0. 0 disables checkpointing. Ignored when a custom
+	// Run is set.
+	CheckpointInterval int
+
+	// Fault, when non-nil, injects deterministic faults at the pool's
+	// sites (fault.SiteWorker before each attempt, fault.SiteTraceDecode
+	// before decoding uploads) and is threaded into each simulation's
+	// config (dram.read / dram.write). Nil costs nothing.
+	Fault *fault.Plan
+
+	// BreakerThreshold opens a per-benchmark circuit breaker after this
+	// many consecutive non-transient terminal failures; submissions for
+	// that benchmark are rejected with ErrBreakerOpen until
+	// BreakerCooldown passes, then a half-open trial admits one. 0 selects
+	// the default (5); negative disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration // default 30s
 
 	// TileWorkers sets each simulation's raster-phase parallelism (see
 	// gpusim.Config.TileWorkers): 0 or 1 renders serially, n > 1 uses n
@@ -236,6 +308,8 @@ type Pool struct {
 	queue  chan *Job
 	sendMu sync.RWMutex // Submit sends under RLock; Close closes queue under Lock
 	wg     sync.WaitGroup
+	live   atomic.Int64 // currently-running worker goroutines; never shrinks below Workers
+	brk    *breaker     // per-benchmark circuit breaker; nil when disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -271,8 +345,11 @@ func New(opts Options) *Pool {
 	if opts.Backoff <= 0 {
 		opts.Backoff = 50 * time.Millisecond
 	}
-	if opts.Run == nil {
-		opts.Run = RunWithTileWorkers(opts.TileWorkers)
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 30 * time.Second
 	}
 	if opts.Logger == nil {
 		opts.Logger = slog.Default()
@@ -289,6 +366,9 @@ func New(opts Options) *Pool {
 		flight:     newFlight(),
 		reg:        make(map[string]*Job),
 	}
+	if opts.BreakerThreshold > 0 {
+		p.brk = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -298,6 +378,11 @@ func New(opts Options) *Pool {
 
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.opts.Workers }
+
+// WorkerCount returns the number of live worker goroutines. It never drops
+// below Workers() for more than the instant between a worker panicking and
+// its replacement starting: the panic guard respawns before unwinding.
+func (p *Pool) WorkerCount() int { return int(p.live.Load()) }
 
 // Metrics exposes the pool counters.
 func (p *Pool) Metrics() *Metrics { return p.metrics }
@@ -321,6 +406,18 @@ func (p *Pool) Get(id string) (*Job, bool) {
 // result completes the job immediately, an in-flight identical job is
 // joined. Submit blocks only when the queue is full, and fails after Close.
 func (p *Pool) Submit(spec Spec) (*Job, error) {
+	return p.submit(spec, true)
+}
+
+// TrySubmit is Submit with load shedding: when the queue is full it fails
+// immediately with ErrOverloaded instead of blocking. The HTTP server uses
+// it so overload surfaces as 429 + Retry-After rather than piled-up
+// handlers.
+func (p *Pool) TrySubmit(spec Spec) (*Job, error) {
+	return p.submit(spec, false)
+}
+
+func (p *Pool) submit(spec Spec, block bool) (*Job, error) {
 	p.metrics.Submitted.Add(1)
 	key := spec.Key()
 
@@ -349,6 +446,18 @@ func (p *Pool) Submit(spec Spec) (*Job, error) {
 		p.metrics.CacheHits.Add(1)
 		p.log.Debug("job eliminated", "id", j.ID, "key", key.String(), "via", "cache")
 		return j, nil
+	}
+
+	// Circuit breaker: after repeated non-transient failures of this
+	// benchmark, reject fresh executions until the cooldown passes. Checked
+	// after the cache (a cached result is free and known good) and before
+	// singleflight (an open breaker means nothing identical is in flight).
+	if p.brk != nil {
+		if retryAfter, open := p.brk.check(spec.breakerKey()); open {
+			p.mu.Unlock()
+			p.metrics.BreakerRejected.Add(1)
+			return nil, &BreakerOpenError{Benchmark: spec.breakerKey(), RetryAfter: retryAfter}
+		}
 	}
 
 	// Level-2 elimination: join an identical in-flight job (singleflight).
@@ -388,7 +497,25 @@ func (p *Pool) Submit(spec Spec) (*Job, error) {
 		c.finish(gpusim.Result{}, ErrClosed)
 		return nil, ErrClosed
 	}
-	p.queue <- j
+	if block {
+		p.queue <- j
+	} else {
+		select {
+		case p.queue <- j:
+		default:
+			// Queue full: shed the load instead of blocking the caller.
+			p.sendMu.RUnlock()
+			p.metrics.queueLen.Add(-1)
+			p.metrics.LoadShed.Add(1)
+			p.mu.Lock()
+			p.flight.forget(key)
+			p.mu.Unlock()
+			cancel()
+			c.finish(gpusim.Result{}, ErrOverloaded)
+			p.log.Warn("job shed", "id", j.ID, "key", key.String(), "queue_depth", p.opts.QueueDepth)
+			return nil, ErrOverloaded
+		}
+	}
 	p.sendMu.RUnlock()
 	p.log.Debug("job queued", "id", j.ID, "key", key.String(), "alias", spec.Alias, "tech", spec.Tech.String())
 	return j, nil
@@ -440,10 +567,88 @@ func (p *Pool) Close(ctx context.Context) error {
 	}
 }
 
+// worker drains the queue. It is panic-isolated: any panic that escapes a
+// job's execution path (including injected fault.SiteWorker panics that fire
+// outside runOnce's recover) is recovered here, the job is requeued or
+// failed, and a replacement goroutine is started before this one unwinds —
+// the pool's worker count never decreases.
 func (p *Pool) worker() {
+	p.live.Add(1)
+	var cur *Job
 	defer p.wg.Done()
+	defer func() {
+		if r := recover(); r == nil {
+			p.live.Add(-1) // clean exit: queue closed
+		} else {
+			// Respawn first (wg.Add before the deferred wg.Done runs) so
+			// Close's Wait can't slip through a zero-count window, then
+			// account for this goroutine's death and handle the job.
+			p.wg.Add(1)
+			go p.worker()
+			p.live.Add(-1)
+			p.handleWorkerPanic(cur, r)
+		}
+	}()
 	for j := range p.queue {
+		cur = j
 		p.execute(j)
+		cur = nil
+	}
+}
+
+// handleWorkerPanic disposes of the job a dying worker was holding: requeue
+// it (bounded by Retries) so the replacement worker resumes it from its last
+// checkpoint, or fail it terminally.
+func (p *Pool) handleWorkerPanic(j *Job, r any) {
+	err := panicError(r)
+	p.metrics.Panics.Add(1)
+	p.log.Error("worker panicked; replaced", "err", err, "stack", string(debug.Stack()))
+	if j == nil {
+		return
+	}
+	if int(j.panics.Add(1)) <= p.opts.Retries && p.requeue(j) {
+		p.metrics.Retries.Add(1)
+		return
+	}
+	p.finishFailed(j, err)
+}
+
+// requeue puts a panic-interrupted job back on the queue. Returns false if
+// the pool is draining or the queue is full (blocking here would deadlock a
+// goroutine that is mid-unwind).
+func (p *Pool) requeue(j *Job) bool {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return false
+	}
+	j.state.Store(int32(Queued))
+	p.metrics.queueLen.Add(1)
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		p.metrics.queueLen.Add(-1)
+		j.state.Store(int32(Running))
+		return false
+	}
+}
+
+// finishFailed terminally fails a job outside the normal execute path.
+func (p *Pool) finishFailed(j *Job, err error) {
+	p.mu.Lock()
+	p.flight.forget(j.Key)
+	p.mu.Unlock()
+	if p.brk != nil && !IsTransient(err) && !errors.Is(err, context.Canceled) {
+		p.brk.onFailure(j.spec.breakerKey())
+	}
+	p.metrics.Failed.Add(1)
+	j.call.finish(gpusim.Result{}, err)
+	if j.call.cancel != nil {
+		j.call.cancel()
 	}
 }
 
@@ -451,22 +656,11 @@ func (p *Pool) execute(j *Job) {
 	p.metrics.queueLen.Add(-1)
 	p.metrics.ObserveStage(StageQueue, time.Since(j.Created).Seconds())
 	p.metrics.Running.Add(1)
+	defer p.metrics.Running.Add(-1) // deferred: must decrement when a panic unwinds
 	j.state.Store(int32(Running))
 
-	// The call context already chains pool shutdown and Job.Cancel; the
-	// per-job timeout stacks on top.
-	ctx := j.call.ctx
-	var timeoutCancel context.CancelFunc
-	if p.opts.Timeout > 0 {
-		ctx, timeoutCancel = context.WithTimeout(ctx, p.opts.Timeout)
-	}
-
 	start := time.Now()
-	res, err := p.runWithRetry(ctx, j.spec)
-	if timeoutCancel != nil {
-		timeoutCancel()
-	}
-	p.metrics.Running.Add(-1)
+	res, err := p.runWithRetry(j.call.ctx, j)
 
 	p.mu.Lock()
 	if err == nil {
@@ -476,16 +670,19 @@ func (p *Pool) execute(j *Job) {
 	p.mu.Unlock()
 
 	if err == nil {
+		if p.brk != nil {
+			p.brk.onSuccess(j.spec.breakerKey())
+		}
 		p.metrics.Completed.Add(1)
 		p.metrics.ObserveResult(res)
 		p.log.Debug("job done", "id", j.ID, "key", j.Key.String(),
 			"frames", len(res.Frames), "tiles_skipped", res.Total.TilesSkipped,
 			"duration", time.Since(start))
 	} else {
-		p.metrics.Failed.Add(1)
-		if errors.Is(err, context.DeadlineExceeded) {
-			p.metrics.Timeouts.Add(1)
+		if p.brk != nil && !IsTransient(err) && !errors.Is(err, context.Canceled) {
+			p.brk.onFailure(j.spec.breakerKey())
 		}
+		p.metrics.Failed.Add(1)
 		p.log.Warn("job failed", "id", j.ID, "key", j.Key.String(),
 			"duration", time.Since(start), "err", err)
 	}
@@ -495,18 +692,44 @@ func (p *Pool) execute(j *Job) {
 	}
 }
 
-func (p *Pool) runWithRetry(ctx context.Context, spec Spec) (gpusim.Result, error) {
+// runWithRetry executes the job with a per-attempt timeout and retry with
+// exponential backoff. Transient failures, injected faults, contained panics
+// and per-attempt timeouts all retry (while the job's own context is still
+// alive); with checkpointing enabled each retry resumes from the job's last
+// completed checkpoint rather than frame 0.
+func (p *Pool) runWithRetry(ctx context.Context, j *Job) (gpusim.Result, error) {
 	observe := func(stage string, d time.Duration) { p.metrics.ObserveStage(stage, d.Seconds()) }
 	backoff := p.opts.Backoff
 	var res gpusim.Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = p.runOnce(ctx, spec, observe)
-		if err == nil || attempt >= p.opts.Retries || !IsTransient(err) || ctx.Err() != nil {
+		// Injected worker fault: a Panic kind escapes to the worker guard
+		// (exercising requeue/respawn); a Transient kind fails this attempt.
+		if ferr := p.opts.Fault.Check(fault.SiteWorker); ferr != nil {
+			err = Transient(ferr)
+		} else {
+			res, err = func() (gpusim.Result, error) {
+				actx := ctx
+				if p.opts.Timeout > 0 {
+					var cancel context.CancelFunc
+					actx, cancel = context.WithTimeout(ctx, p.opts.Timeout)
+					defer cancel()
+				}
+				return p.runOnce(actx, j, observe)
+			}()
+		}
+		// A deadline that the job's own context did not cause is a
+		// per-attempt timeout: count it, and retry (resuming from the last
+		// checkpoint) if budget remains.
+		timedOut := errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+		if timedOut {
+			p.metrics.Timeouts.Add(1)
+		}
+		if err == nil || attempt >= p.opts.Retries || ctx.Err() != nil || !(IsTransient(err) || timedOut) {
 			return res, err
 		}
 		p.metrics.Retries.Add(1)
-		p.log.Warn("job retrying", "attempt", attempt+1, "backoff", backoff, "err", err)
+		p.log.Warn("job retrying", "id", j.ID, "attempt", attempt+1, "backoff", backoff, "err", err)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -516,15 +739,21 @@ func (p *Pool) runWithRetry(ctx context.Context, spec Spec) (gpusim.Result, erro
 	}
 }
 
-// runOnce executes the RunFunc with panic containment: a panicking
-// simulation fails its job, never the worker.
-func (p *Pool) runOnce(ctx context.Context, spec Spec, observe func(string, time.Duration)) (res gpusim.Result, err error) {
+// runOnce executes one attempt with panic containment: a panicking
+// simulation fails its attempt (retryably — the error wraps
+// rerr.ErrWorkerPanic), never the worker.
+func (p *Pool) runOnce(ctx context.Context, j *Job, observe func(string, time.Duration)) (res gpusim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("jobs: run panicked: %v", r)
+			p.metrics.Panics.Add(1)
+			err = panicError(r)
+			p.log.Error("run panicked; contained", "id", j.ID, "err", err, "stack", string(debug.Stack()))
 		}
 	}()
-	return p.opts.Run(ctx, spec, observe)
+	if p.opts.Run != nil {
+		return p.opts.Run(ctx, j.spec, observe)
+	}
+	return p.runResumable(ctx, j, observe)
 }
 
 // DefaultRun builds the trace (decode upload, custom builder, or suite

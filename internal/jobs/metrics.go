@@ -31,9 +31,15 @@ type Metrics struct {
 	CacheHits atomic.Uint64 // result served straight from the LRU
 	Joins     atomic.Uint64 // attached to an in-flight identical job
 	Retries   atomic.Uint64 // transient-failure re-executions
-	Timeouts  atomic.Uint64 // per-job deadline expiries
+	Timeouts  atomic.Uint64 // per-attempt deadline expiries
 	Running   atomic.Int64  // jobs currently executing
 	queueLen  atomic.Int64  // jobs submitted but not yet picked up
+
+	Panics          atomic.Uint64 // contained run panics + worker-level panics
+	Resumed         atomic.Uint64 // attempts that resumed from a checkpoint
+	LoadShed        atomic.Uint64 // TrySubmit rejections on a full queue
+	BreakerRejected atomic.Uint64 // submissions rejected by an open circuit breaker
+	FramesSimulated atomic.Uint64 // frames actually executed (resume skips don't count)
 
 	mu    sync.Mutex
 	hists map[string]*stats.Histogram
@@ -121,7 +127,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("resvc_jobs_cache_hits_total", "Jobs served straight from the LRU result cache.", m.CacheHits.Load())
 	counter("resvc_jobs_inflight_joins_total", "Jobs attached to an identical in-flight execution.", m.Joins.Load())
 	counter("resvc_jobs_retries_total", "Transient-failure re-executions.", m.Retries.Load())
-	counter("resvc_jobs_timeouts_total", "Jobs that hit their per-job deadline.", m.Timeouts.Load())
+	counter("resvc_jobs_timeouts_total", "Job attempts that hit the per-attempt deadline.", m.Timeouts.Load())
+	counter("resvc_jobs_panics_total", "Panics contained (in-run recover or worker replacement).", m.Panics.Load())
+	counter("resvc_jobs_resumed_total", "Job attempts resumed from a frame-boundary checkpoint.", m.Resumed.Load())
+	counter("resvc_load_shed_total", "Submissions rejected because the queue was full.", m.LoadShed.Load())
+	counter("resvc_breaker_rejected_total", "Submissions rejected by an open circuit breaker.", m.BreakerRejected.Load())
+	counter("resvc_sim_frames_executed_total", "Frames actually executed by the built-in runner (checkpoint-resumed frames are not re-executed).", m.FramesSimulated.Load())
 	gaugeF("resvc_job_elimination_ratio", "Fraction of submitted jobs eliminated without simulating (cf. tile skip fraction).", m.EliminationRatio())
 	gaugeF("resvc_cache_hit_ratio", "LRU result cache hit ratio.", m.CacheHitRatio())
 	gaugeI("resvc_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth())

@@ -1,0 +1,113 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rendelim/internal/api"
+	"rendelim/internal/fault"
+	"rendelim/internal/gpusim"
+	"rendelim/internal/trace"
+	"rendelim/internal/workload"
+)
+
+// runResumable is the pool's built-in executor: like DefaultRun it builds
+// the trace and simulates with cancellation honored at frame boundaries, but
+// it also threads the pool's fault plan into the simulation and — when
+// Options.CheckpointInterval > 0 — snapshots the simulator at frame
+// boundaries into the job. A later attempt of the same job (after a
+// transient failure, a contained or worker-level panic, or a per-attempt
+// timeout) resumes from the last checkpoint instead of frame 0, so the total
+// frames simulated across all attempts stays close to the trace length.
+func (p *Pool) runResumable(ctx context.Context, j *Job, observe func(string, time.Duration)) (gpusim.Result, error) {
+	buildStart := time.Now()
+	var tr *api.Trace
+	switch {
+	case len(j.spec.TraceBin) > 0:
+		// Injected decode fault. The Corrupt kind additionally runs a
+		// deterministically mangled copy of the upload through the decoder
+		// — which must reject or misparse it gracefully, never crash (the
+		// fuzz target guards the same property) — before failing the
+		// attempt the way a detected checksum mismatch would: transiently,
+		// so the retry re-reads the pristine bytes.
+		if ferr := p.opts.Fault.Check(fault.SiteTraceDecode); ferr != nil {
+			var fe *fault.Error
+			if errors.As(ferr, &fe) && fe.Kind == fault.Corrupt {
+				_, _ = trace.Decode(bytes.NewReader(fe.Mangle(j.spec.TraceBin)))
+			}
+			return gpusim.Result{}, Transient(fmt.Errorf("jobs: trace read: %w", ferr))
+		}
+		var err error
+		tr, err = trace.Decode(bytes.NewReader(j.spec.TraceBin))
+		if err != nil {
+			return gpusim.Result{}, fmt.Errorf("jobs: %w", err)
+		}
+	case j.spec.Build != nil:
+		tr = j.spec.Build(j.spec.Params)
+	default:
+		b, err := workload.ByAlias(j.spec.Alias)
+		if err != nil {
+			return gpusim.Result{}, err
+		}
+		tr = b.Build(j.spec.Params)
+	}
+	cfg := gpusim.DefaultConfig()
+	cfg.Technique = j.spec.Tech
+	cfg.TileWorkers = p.opts.TileWorkers
+	cfg.Fault = p.opts.Fault
+	if j.spec.Mutate != nil {
+		j.spec.Mutate(&cfg)
+	}
+	sim, err := gpusim.New(tr, cfg)
+	if err != nil {
+		return gpusim.Result{}, err
+	}
+	observe(StageBuild, time.Since(buildStart))
+
+	simStart := time.Now()
+	res := gpusim.Result{Technique: cfg.Technique, Name: tr.Name}
+	res.Frames = make([]gpusim.Stats, 0, len(tr.Frames))
+
+	// Resume from this job's last checkpoint, replaying the already-counted
+	// per-frame stats so the final Result is indistinguishable from a
+	// straight run.
+	start := 0
+	if j.resume != nil && j.resume.cp != nil {
+		if rerr := sim.Resume(j.resume.cp); rerr == nil {
+			start = j.resume.cp.Frame()
+			for _, fs := range j.resume.frames {
+				res.Frames = append(res.Frames, fs)
+				res.Total.Add(fs)
+			}
+			p.metrics.Resumed.Add(1)
+			p.log.Info("job resumed from checkpoint", "id", j.ID, "frame", start)
+		} else {
+			p.log.Warn("checkpoint rejected; restarting from frame 0", "id", j.ID, "err", rerr)
+		}
+	}
+
+	ival := p.opts.CheckpointInterval
+	for i := start; i < len(tr.Frames); i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return res, cerr
+		}
+		fs := sim.RunFrame(&tr.Frames[i])
+		res.Frames = append(res.Frames, fs)
+		res.Total.Add(fs)
+		p.metrics.FramesSimulated.Add(1)
+		// Checkpoint at the boundary — but not after the last frame, where
+		// there is nothing left to resume into.
+		if ival > 0 && (i+1)%ival == 0 && i+1 < len(tr.Frames) {
+			j.resume = &resume{
+				cp:     sim.Checkpoint(),
+				frames: append([]gpusim.Stats(nil), res.Frames...),
+			}
+		}
+	}
+	res.FBCRC = sim.FrameBufferCRC()
+	observe(StageSimulate, time.Since(simStart))
+	return res, nil
+}

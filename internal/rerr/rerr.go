@@ -20,4 +20,9 @@ var (
 	// ErrBadConfig reports a simulation configuration that failed
 	// validation.
 	ErrBadConfig = errors.New("bad config")
+
+	// ErrWorkerPanic reports a panic recovered inside a job-pool worker.
+	// The jobs package treats it as transient: the panicking attempt is
+	// retried (resuming from the job's last checkpoint when one exists).
+	ErrWorkerPanic = errors.New("worker panic")
 )

@@ -11,20 +11,26 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rendelim/internal/fault"
 	"rendelim/internal/gpusim"
 	"rendelim/internal/jobs"
 	"rendelim/internal/obs"
+	"rendelim/internal/rerr"
 	"rendelim/internal/trace"
 	"rendelim/internal/workload"
 )
@@ -60,6 +66,8 @@ type Server struct {
 	log    *slog.Logger
 
 	requests atomic.Uint64
+	draining atomic.Bool
+	fplan    atomic.Pointer[fault.Plan]
 }
 
 // expvar names are process-global and may only be published once, but tests
@@ -103,15 +111,37 @@ func (s *Server) SetLogger(l *slog.Logger) {
 	}
 }
 
-// statusWriter captures the response code for the request log.
+// SetFaultPlan arms fault injection at the server.accept site (and nothing
+// else — the pool carries its own plan). Safe to call concurrently with
+// request serving; nil disarms.
+func (s *Server) SetFaultPlan(p *fault.Plan) { s.fplan.Store(p) }
+
+// StartDraining flips /healthz to 503 {"status":"draining"} so load
+// balancers stop routing here while in-flight jobs finish. Submissions are
+// still accepted until the listener closes: draining is advisory,
+// shutdown-ordering (Shutdown, then Pool.Close) does the real work.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusWriter captures the response code for the request log, and whether
+// anything was written (so the panic recovery knows a 500 can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // Handler returns the service mux, including the /debug/pprof and
@@ -132,9 +162,27 @@ func (s *Server) Handler() http.Handler {
 		s.requests.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		// Handler-level panic isolation: one failed request must never take
+		// the process (net/http would only catch panics below ServeHTTP).
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.log.Error("handler panicked", "path", r.URL.Path, "panic", rec,
+					"stack", string(debug.Stack()))
+				if !sw.wrote {
+					httpError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			s.log.Debug("http request", "method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "duration", time.Since(start), "remote", r.RemoteAddr)
+		}()
+		// Injected accept-path fault: Latency sleeps inside Check, Panic
+		// unwinds into the recover above, Transient/Corrupt shed the request.
+		if err := s.fplan.Load().Check(fault.SiteServerAccept); err != nil {
+			w.Header().Set("Retry-After", "1")
+			httpError(sw, http.StatusServiceUnavailable, "injected fault: "+err.Error())
+			return
+		}
 		mux.ServeHTTP(sw, r)
-		s.log.Debug("http request", "method", r.Method, "path", r.URL.Path,
-			"status", sw.status, "duration", time.Since(start), "remote", r.RemoteAddr)
 	})
 }
 
@@ -176,13 +224,17 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		spec, err = s.specFromTrace(r)
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, statusForError(err), err.Error())
 		return
 	}
 
-	job, err := s.pool.Submit(spec)
+	job, err := s.pool.TrySubmit(spec)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		status := statusForError(err)
+		if ra := retryAfter(err); ra > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+		}
+		httpError(w, status, err.Error())
 		return
 	}
 
@@ -204,24 +256,24 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) specFromJSON(r *http.Request) (jobs.Spec, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		return jobs.Spec{}, fmt.Errorf("read body: %w", err)
+		return jobs.Spec{}, fmt.Errorf("%w: read body: %v", rerr.ErrBadConfig, err)
 	}
 	var req SubmitRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return jobs.Spec{}, fmt.Errorf("bad JSON: %w", err)
+		return jobs.Spec{}, fmt.Errorf("%w: bad JSON: %v", rerr.ErrBadConfig, err)
 	}
 	if req.Alias == "" {
-		return jobs.Spec{}, fmt.Errorf("missing alias")
+		return jobs.Spec{}, fmt.Errorf("%w: missing alias", rerr.ErrBadConfig)
 	}
 	if _, err := workload.ByAlias(req.Alias); err != nil {
-		return jobs.Spec{}, err
+		return jobs.Spec{}, err // wraps rerr.ErrUnknownBenchmark
 	}
 	if req.Tech == "" {
 		req.Tech = "re"
 	}
 	tech, err := gpusim.ParseTechnique(req.Tech)
 	if err != nil {
-		return jobs.Spec{}, err
+		return jobs.Spec{}, fmt.Errorf("%w: %v", rerr.ErrBadConfig, err)
 	}
 	p := workload.DefaultParams()
 	if req.Width > 0 {
@@ -237,10 +289,10 @@ func (s *Server) specFromJSON(r *http.Request) (jobs.Spec, error) {
 		p.Seed = req.Seed
 	}
 	if p.Width*p.Height > s.limits.MaxPixels {
-		return jobs.Spec{}, fmt.Errorf("resolution %dx%d over limit", p.Width, p.Height)
+		return jobs.Spec{}, fmt.Errorf("%w: resolution %dx%d over limit", rerr.ErrBadConfig, p.Width, p.Height)
 	}
 	if p.Frames > s.limits.MaxFrames {
-		return jobs.Spec{}, fmt.Errorf("frames %d over limit %d", p.Frames, s.limits.MaxFrames)
+		return jobs.Spec{}, fmt.Errorf("%w: frames %d over limit %d", rerr.ErrBadConfig, p.Frames, s.limits.MaxFrames)
 	}
 	return jobs.Spec{Alias: req.Alias, Params: p, Tech: tech, Tag: req.Tag}, nil
 }
@@ -250,20 +302,20 @@ func (s *Server) specFromJSON(r *http.Request) (jobs.Spec, error) {
 func (s *Server) specFromTrace(r *http.Request) (jobs.Spec, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.limits.MaxBodyBytes+1))
 	if err != nil {
-		return jobs.Spec{}, fmt.Errorf("read body: %w", err)
+		return jobs.Spec{}, fmt.Errorf("%w: read body: %v", rerr.ErrBadTrace, err)
 	}
 	if int64(len(body)) > s.limits.MaxBodyBytes {
-		return jobs.Spec{}, fmt.Errorf("trace over %d-byte limit", s.limits.MaxBodyBytes)
+		return jobs.Spec{}, fmt.Errorf("%w: trace over %d-byte limit", rerr.ErrBadTrace, s.limits.MaxBodyBytes)
 	}
 	tr, err := trace.Decode(bytes.NewReader(body))
 	if err != nil {
-		return jobs.Spec{}, err
+		return jobs.Spec{}, err // wraps rerr.ErrBadTrace
 	}
 	if tr.Width*tr.Height > s.limits.MaxPixels {
-		return jobs.Spec{}, fmt.Errorf("trace resolution %dx%d over limit", tr.Width, tr.Height)
+		return jobs.Spec{}, fmt.Errorf("%w: trace resolution %dx%d over limit", rerr.ErrBadTrace, tr.Width, tr.Height)
 	}
 	if len(tr.Frames) > s.limits.MaxFrames {
-		return jobs.Spec{}, fmt.Errorf("trace frame count %d over limit %d", len(tr.Frames), s.limits.MaxFrames)
+		return jobs.Spec{}, fmt.Errorf("%w: trace frame count %d over limit %d", rerr.ErrBadTrace, len(tr.Frames), s.limits.MaxFrames)
 	}
 	techStr := r.URL.Query().Get("tech")
 	if techStr == "" {
@@ -271,7 +323,7 @@ func (s *Server) specFromTrace(r *http.Request) (jobs.Spec, error) {
 	}
 	tech, err := gpusim.ParseTechnique(techStr)
 	if err != nil {
-		return jobs.Spec{}, err
+		return jobs.Spec{}, fmt.Errorf("%w: %v", rerr.ErrBadConfig, err)
 	}
 	return jobs.Spec{TraceBin: body, Tech: tech, Tag: r.URL.Query().Get("tag")}, nil
 }
@@ -314,8 +366,14 @@ func (s *Server) jobResponse(j *jobs.Job) JobResponse {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// 503 tells load balancers to stop routing here; in-flight work
+		// still completes during the drain window.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
 		"workers":     s.pool.Workers(),
 		"queue_depth": s.pool.Metrics().QueueDepth(),
 		"uptime_sec":  int64(time.Since(s.start).Seconds()),
@@ -327,6 +385,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.pool.Metrics().WritePrometheus(w)
 	fmt.Fprintf(w, "# HELP resvc_http_requests_total HTTP requests served.\n# TYPE resvc_http_requests_total counter\nresvc_http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(w, "# HELP resvc_result_cache_entries Cached simulation results.\n# TYPE resvc_result_cache_entries gauge\nresvc_result_cache_entries %d\n", s.pool.CacheLen())
+	// Per-benchmark breaker gauge: emitted here (not in jobs.Metrics)
+	// because the breaker state lives on the pool, not the counters.
+	fmt.Fprintf(w, "# HELP resvc_breaker_open Whether the per-benchmark circuit breaker is open (1) or closed (0).\n# TYPE resvc_breaker_open gauge\n")
+	states := s.pool.BreakerState()
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := 0
+		if states[k] {
+			v = 1
+		}
+		fmt.Fprintf(w, "resvc_breaker_open{benchmark=%q} %d\n", k, v)
+	}
 }
 
 // timeoutCtx bounds a ?wait request by the request context and the
@@ -345,4 +419,39 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// statusForError maps error classes to HTTP statuses: client mistakes (bad
+// trace, bad config, unknown benchmark) are 400, overload is 429, an open
+// breaker or a draining pool is 503. Anything unclassified is a server-side
+// 500 — never blamed on the client.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, rerr.ErrBadTrace),
+		errors.Is(err, rerr.ErrBadConfig),
+		errors.Is(err, rerr.ErrUnknownBenchmark):
+		return http.StatusBadRequest
+	case errors.Is(err, jobs.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrBreakerOpen), errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// retryAfter suggests a client back-off in whole seconds for retryable
+// rejections; 0 means no Retry-After header.
+func retryAfter(err error) int {
+	var bo *jobs.BreakerOpenError
+	if errors.As(err, &bo) {
+		sec := int(bo.RetryAfter / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		return sec
+	}
+	if errors.Is(err, jobs.ErrOverloaded) {
+		return 1
+	}
+	return 0
 }

@@ -4,16 +4,22 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"rendelim/internal/fault"
+	"rendelim/internal/gpusim"
 	"rendelim/internal/jobs"
+	"rendelim/internal/rerr"
 	"rendelim/internal/trace"
 	"rendelim/internal/workload"
 )
@@ -285,5 +291,230 @@ func TestAsyncSubmit(t *testing.T) {
 	}
 	if got.State != "done" {
 		t.Errorf("job state %q after wait", got.State)
+	}
+}
+
+// statusForError is the contract between the pool's error taxonomy and HTTP:
+// client mistakes are 4xx, capacity conditions are 429/503, anything
+// unclassified is 500 — never a client-blaming 400.
+func TestStatusForError(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"bad trace", fmt.Errorf("wrap: %w", rerr.ErrBadTrace), http.StatusBadRequest},
+		{"bad config", fmt.Errorf("wrap: %w", rerr.ErrBadConfig), http.StatusBadRequest},
+		{"unknown benchmark", fmt.Errorf("wrap: %w", rerr.ErrUnknownBenchmark), http.StatusBadRequest},
+		{"overloaded", jobs.ErrOverloaded, http.StatusTooManyRequests},
+		{"breaker open", &jobs.BreakerOpenError{Benchmark: "ccs", RetryAfter: time.Second}, http.StatusServiceUnavailable},
+		{"pool closed", jobs.ErrClosed, http.StatusServiceUnavailable},
+		{"unclassified", errors.New("mystery"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusForError(tc.err); got != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// Every spec-validation error must reach the client as a 400 whose body
+// matches a sentinel — the errors.Is sweep of the bugfix satellite.
+func TestSpecErrorsWrapSentinels(t *testing.T) {
+	srv := &Server{limits: Limits{}, log: slog.Default()}
+	srv.limits.setDefaults()
+
+	jsonCases := []struct {
+		name string
+		body string
+	}{
+		{"bad JSON", "{"},
+		{"missing alias", "{}"},
+		{"bad tech", `{"alias": "ccs", "tech": "quantum"}`},
+		{"over-limit resolution", `{"alias": "ccs", "width": 100000, "height": 100000}`},
+		{"over-limit frames", `{"alias": "ccs", "frames": 100000}`},
+	}
+	for _, tc := range jsonCases {
+		r := httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(tc.body))
+		_, err := srv.specFromJSON(r)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !errors.Is(err, rerr.ErrBadConfig) && !errors.Is(err, rerr.ErrUnknownBenchmark) {
+			t.Errorf("%s: %v does not wrap ErrBadConfig/ErrUnknownBenchmark", tc.name, err)
+		}
+		if statusForError(err) != http.StatusBadRequest {
+			t.Errorf("%s: maps to %d, want 400", tc.name, statusForError(err))
+		}
+	}
+	r := httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(`{"alias": "nope"}`))
+	if _, err := srv.specFromJSON(r); !errors.Is(err, rerr.ErrUnknownBenchmark) {
+		t.Errorf("unknown alias: %v does not wrap ErrUnknownBenchmark", err)
+	}
+
+	traceCases := []struct {
+		name string
+		body []byte
+	}{
+		{"garbage bytes", []byte("definitely not a trace")},
+		{"empty body", nil},
+	}
+	for _, tc := range traceCases {
+		r := httptest.NewRequest(http.MethodPost, "/jobs", bytes.NewReader(tc.body))
+		_, err := srv.specFromTrace(r)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !errors.Is(err, rerr.ErrBadTrace) {
+			t.Errorf("%s: %v does not wrap ErrBadTrace", tc.name, err)
+		}
+		if statusForError(err) != http.StatusBadRequest {
+			t.Errorf("%s: maps to %d, want 400", tc.name, statusForError(err))
+		}
+	}
+	// Bad tech on a valid trace upload wraps ErrBadConfig.
+	b, err := workload.ByAlias("ccs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, b.Build(workload.Params{Width: 64, Height: 48, Frames: 1, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	r = httptest.NewRequest(http.MethodPost, "/jobs?tech=quantum", bytes.NewReader(buf.Bytes()))
+	if _, err := srv.specFromTrace(r); !errors.Is(err, rerr.ErrBadConfig) {
+		t.Errorf("bad upload tech: %v does not wrap ErrBadConfig", err)
+	}
+}
+
+// A full queue must shed load with 429 + Retry-After, not block the handler.
+func TestOverloadSheds429(t *testing.T) {
+	block := make(chan struct{})
+	run := func(ctx context.Context, spec jobs.Spec, observe func(string, time.Duration)) (gpusim.Result, error) {
+		select {
+		case <-block:
+			return gpusim.Result{Name: spec.Alias}, nil
+		case <-ctx.Done():
+			return gpusim.Result{}, ctx.Err()
+		}
+	}
+	pool := jobs.New(jobs.Options{Workers: 1, QueueDepth: 1, Run: run})
+	t.Cleanup(func() { close(block); pool.Close(context.Background()) })
+	srv := httptest.NewServer(New(pool, Limits{}).Handler())
+	t.Cleanup(srv.Close)
+
+	// First job occupies the worker, second the queue slot.
+	code, jr := postJSON(t, srv.URL+"/jobs", `{"alias": "ccs"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/jobs/" + jr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got JobResponse
+		json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if got.State == "running" {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, _ := postJSON(t, srv.URL+"/jobs", `{"alias": "mst"}`); code != http.StatusAccepted {
+		t.Fatalf("queue-filling submit: %d", code)
+	}
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"alias": "hop"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// StartDraining must flip /healthz to 503 {"status":"draining"}.
+func TestHealthzDraining(t *testing.T) {
+	pool := jobs.New(jobs.Options{Workers: 1, CacheSize: 8})
+	t.Cleanup(func() { pool.Close(context.Background()) })
+	s := New(pool, Limits{})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	s.StartDraining()
+	if !s.Draining() {
+		t.Fatal("Draining() false after StartDraining")
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d, want 503", resp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("status %q, want draining", h.Status)
+	}
+}
+
+// The handler middleware must recover injected accept-path panics (500, the
+// process survives) and shed injected transient faults (503 + Retry-After).
+func TestHandlerFaultInjection(t *testing.T) {
+	pool := jobs.New(jobs.Options{Workers: 1, CacheSize: 8})
+	t.Cleanup(func() { pool.Close(context.Background()) })
+	s := New(pool, Limits{})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	s.SetFaultPlan(fault.New(5).
+		With(fault.SiteServerAccept, fault.Site{Prob: 1, Limit: 1, Kinds: []fault.Kind{fault.Panic}}))
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request: %d, want 500", resp.StatusCode)
+	}
+
+	s.SetFaultPlan(fault.New(5).
+		With(fault.SiteServerAccept, fault.Site{Prob: 1, Limit: 1, Kinds: []fault.Kind{fault.Transient}}))
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 without Retry-After")
+	}
+
+	// Plan exhausted (Limit 1 each): the server must be healthy again.
+	s.SetFaultPlan(nil)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered healthz: %d, want 200", resp.StatusCode)
 	}
 }

@@ -100,3 +100,47 @@ func (b *Buffer) InvalidateTile(tile int) {
 		b.valid[p][tile] = false
 	}
 }
+
+// BufferSnapshot captures the Signature Buffer's cross-frame state: both
+// committed signature sets with their validity bits, the parity, and the
+// access counters. The building set is per-frame scratch but is included so
+// mid-frame restores are at least well-defined.
+type BufferSnapshot struct {
+	Building []uint32
+	Prev     [2][]uint32
+	Valid    [2][]bool
+	Parity   int
+	Reads    uint64
+	Writes   uint64
+}
+
+// Snapshot deep-copies the buffer state.
+func (b *Buffer) Snapshot() BufferSnapshot {
+	s := BufferSnapshot{
+		Building: append([]uint32(nil), b.building...),
+		Parity:   b.parity,
+		Reads:    b.Reads,
+		Writes:   b.Writes,
+	}
+	for i := range b.prev {
+		s.Prev[i] = append([]uint32(nil), b.prev[i]...)
+		s.Valid[i] = append([]bool(nil), b.valid[i]...)
+	}
+	return s
+}
+
+// Restore overwrites the buffer with a snapshot taken from a buffer of the
+// same tile count; it panics on a size mismatch.
+func (b *Buffer) Restore(s BufferSnapshot) {
+	if len(s.Building) != b.numTiles {
+		panic("sig: buffer restore size mismatch")
+	}
+	copy(b.building, s.Building)
+	for i := range b.prev {
+		copy(b.prev[i], s.Prev[i])
+		copy(b.valid[i], s.Valid[i])
+	}
+	b.parity = s.Parity
+	b.Reads = s.Reads
+	b.Writes = s.Writes
+}

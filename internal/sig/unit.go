@@ -263,3 +263,50 @@ func (u *Unit) SyncStats() {
 	u.Stats.Compute = u.compute.Stats
 	u.Stats.Accumulate = u.accumulate.Stats
 }
+
+// UnitSnapshot captures the Signature Unit's state: the buffer, the CRC
+// datapath counters, the constants register/bitmap and queue clocks (per-
+// frame scratch, included for completeness), and the aggregate stats.
+type UnitSnapshot struct {
+	Buf        BufferSnapshot
+	Compute    crc.UnitStats
+	Accumulate crc.UnitStats
+	ConstSig   uint32
+	ConstShift int
+	HaveConst  bool
+	Bitmap     []bool
+	PLBClock   uint64
+	SUClock    uint64
+	Stats      Stats
+}
+
+// Snapshot deep-copies the unit state.
+func (u *Unit) Snapshot() UnitSnapshot {
+	return UnitSnapshot{
+		Buf:        u.buf.Snapshot(),
+		Compute:    u.compute.Stats,
+		Accumulate: u.accumulate.Stats,
+		ConstSig:   u.constSig,
+		ConstShift: u.constShift,
+		HaveConst:  u.haveConst,
+		Bitmap:     append([]bool(nil), u.bitmap...),
+		PLBClock:   u.plbClock,
+		SUClock:    u.suClock,
+		Stats:      u.Stats,
+	}
+}
+
+// Restore overwrites the unit with a snapshot from an identically sized
+// unit.
+func (u *Unit) Restore(s UnitSnapshot) {
+	u.buf.Restore(s.Buf)
+	u.compute.Stats = s.Compute
+	u.accumulate.Stats = s.Accumulate
+	u.constSig = s.ConstSig
+	u.constShift = s.ConstShift
+	u.haveConst = s.HaveConst
+	copy(u.bitmap, s.Bitmap)
+	u.plbClock = s.PLBClock
+	u.suClock = s.SUClock
+	u.Stats = s.Stats
+}
