@@ -1,0 +1,286 @@
+// Command rebench records the performance trajectory of the simulator: it
+// runs a matrix of (benchmark, technique) jobs through the same pool resvc
+// uses, measures host throughput, and emits a machine-readable BENCH_<n>.json
+// so successive runs (CI keeps them as artifacts) can be diffed for
+// regressions in frames/sec, elimination ratio, or per-stage cycle counts.
+//
+// Usage:
+//
+//	rebench [-out results] [-benchmarks ccs,mst] [-techs base,re]
+//	        [-width 480] [-height 272] [-frames 50] [-seed 1]
+//	        [-workers 0] [-tile-workers 0] [-smoke]
+//
+// Every unique job is submitted twice: the second pass is eliminated by the
+// pool's signature cache, so the report also demonstrates (and records) the
+// job-elimination ratio, the service-level twin of the paper's tile skip
+// fraction.
+//
+// -smoke shrinks the matrix to a seconds-long run (4 frames, 96x64, two
+// benchmarks) for CI.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"rendelim/internal/energy"
+	"rendelim/internal/exp"
+	"rendelim/internal/gpusim"
+	"rendelim/internal/jobs"
+	"rendelim/internal/workload"
+)
+
+// Report is the top-level BENCH_<n>.json document.
+type Report struct {
+	Schema     string    `json:"schema"` // "rebench/1"
+	Started    time.Time `json:"started"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Smoke      bool      `json:"smoke"`
+	Params     Params    `json:"params"`
+	Runs       []Run     `json:"runs"`
+	Totals     Totals    `json:"totals"`
+}
+
+// Params echoes the workload scaling of every run.
+type Params struct {
+	Width       int   `json:"width"`
+	Height      int   `json:"height"`
+	Frames      int   `json:"frames"`
+	Seed        int64 `json:"seed"`
+	Workers     int   `json:"workers"`
+	TileWorkers int   `json:"tile_workers"`
+}
+
+// Run is one (benchmark, technique) measurement.
+type Run struct {
+	Alias        string  `json:"alias"`
+	Tech         string  `json:"tech"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Frames       int     `json:"frames"`
+	FramesPerSec float64 `json:"frames_per_sec"` // host throughput, not simulated FPS
+
+	Cycles           uint64            `json:"cycles"`
+	TilesTotal       uint64            `json:"tiles_total"`
+	TilesSkipped     uint64            `json:"tiles_skipped"`
+	TileSkipFraction float64           `json:"tile_skip_fraction"`
+	StageCycles      map[string]uint64 `json:"stage_cycles"`
+	FragsShaded      uint64            `json:"frags_shaded"`
+	DRAMBytes        uint64            `json:"dram_bytes"`
+	EnergyMJ         float64           `json:"energy_mj"`
+}
+
+// Totals aggregates the whole session, including the elimination pass.
+type Totals struct {
+	WallSeconds         float64 `json:"wall_seconds"`
+	Frames              uint64  `json:"frames"`
+	FramesPerSec        float64 `json:"frames_per_sec"`
+	JobsSubmitted       uint64  `json:"jobs_submitted"`
+	JobsDeduped         uint64  `json:"jobs_deduped"`
+	JobEliminationRatio float64 `json:"job_elimination_ratio"`
+	EliminationPassSec  float64 `json:"elimination_pass_sec"` // wall time of the all-cached second pass
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("rebench", flag.ContinueOnError)
+	out := fs.String("out", "results", "output directory for BENCH_<n>.json")
+	benchmarks := fs.String("benchmarks", "", "comma-separated aliases (default: full Table II suite; smoke: ccs,mst)")
+	techs := fs.String("techs", "base,re", "comma-separated techniques to measure")
+	width := fs.Int("width", 480, "frame width")
+	height := fs.Int("height", 272, "frame height")
+	frames := fs.Int("frames", 50, "frames per run")
+	seed := fs.Int64("seed", 1, "workload seed")
+	workers := fs.Int("workers", 0, "pool workers (0 = host CPUs / tile-workers)")
+	tileWorkers := fs.Int("tile-workers", 0, "raster goroutines per simulation")
+	smoke := fs.Bool("smoke", false, "seconds-long CI mode: 4 frames, 96x64, ccs+mst")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Seed: *seed}
+	aliases := exp.SuiteAliases()
+	if *smoke {
+		// 4 frames, not fewer: the RE signature pipeline is double-buffered,
+		// so tile skipping only begins at frame 2.
+		p = workload.Params{Width: 96, Height: 64, Frames: 4, Seed: *seed}
+		aliases = []string{"ccs", "mst"}
+	}
+	if *benchmarks != "" {
+		aliases = splitList(*benchmarks)
+	}
+	var techniques []gpusim.Technique
+	for _, ts := range splitList(*techs) {
+		tech, err := gpusim.ParseTechnique(ts)
+		if err != nil {
+			return err
+		}
+		techniques = append(techniques, tech)
+	}
+	for _, a := range aliases {
+		if _, err := workload.ByAlias(a); err != nil {
+			return err
+		}
+	}
+
+	pool := jobs.New(jobs.Options{Workers: *workers, TileWorkers: *tileWorkers})
+	defer pool.Close(context.Background())
+
+	report := Report{
+		Schema:     "rebench/1",
+		Started:    time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Smoke:      *smoke,
+		Params: Params{
+			Width: p.Width, Height: p.Height, Frames: p.Frames, Seed: p.Seed,
+			Workers: pool.Workers(), TileWorkers: *tileWorkers,
+		},
+	}
+
+	// Measurement pass: every unique (benchmark, technique) simulated once.
+	// Submissions are serialized so per-run wall time is not confounded by
+	// co-scheduled jobs; within a run, -tile-workers parallelism applies.
+	sessionStart := time.Now()
+	for _, alias := range aliases {
+		for _, tech := range techniques {
+			spec := jobs.Spec{Alias: alias, Params: p, Tech: tech}
+			start := time.Now()
+			job, err := pool.Submit(spec)
+			if err != nil {
+				return err
+			}
+			res, err := job.Wait(context.Background())
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", alias, tech, err)
+			}
+			wall := time.Since(start).Seconds()
+			stage := make(map[string]uint64, int(gpusim.NumPipeStages))
+			for st := gpusim.PipeStage(0); st < gpusim.NumPipeStages; st++ {
+				stage[st.String()] = res.Total.StageCycles[st]
+			}
+			eb := energy.Default().Compute(res.Total.Activity)
+			report.Runs = append(report.Runs, Run{
+				Alias:            alias,
+				Tech:             tech.String(),
+				WallSeconds:      wall,
+				Frames:           len(res.Frames),
+				FramesPerSec:     ratio(float64(len(res.Frames)), wall),
+				Cycles:           res.Total.TotalCycles(),
+				TilesTotal:       res.Total.TilesTotal,
+				TilesSkipped:     res.Total.TilesSkipped,
+				TileSkipFraction: res.Total.SkipFraction(),
+				StageCycles:      stage,
+				FragsShaded:      res.Total.FragsShaded,
+				DRAMBytes:        res.Total.TotalTraffic(),
+				EnergyMJ:         eb.Total() * 1e3,
+			})
+			fmt.Fprintf(stdout, "%-4s %-5s %8.3fs %8.1f frames/s  skip %.3f\n",
+				alias, tech, wall, ratio(float64(len(res.Frames)), wall), res.Total.SkipFraction())
+		}
+	}
+
+	// Elimination pass: resubmit the identical matrix. Every job is
+	// eliminated by signature match, which both validates the cache and
+	// records how cheap the eliminated path is.
+	elimStart := time.Now()
+	for _, alias := range aliases {
+		for _, tech := range techniques {
+			job, err := pool.Submit(jobs.Spec{Alias: alias, Params: p, Tech: tech})
+			if err != nil {
+				return err
+			}
+			if _, err := job.Wait(context.Background()); err != nil {
+				return err
+			}
+			if !job.Deduped {
+				return fmt.Errorf("%s/%s: second submission was not eliminated", alias, tech)
+			}
+		}
+	}
+	elimWall := time.Since(elimStart).Seconds()
+	totalWall := time.Since(sessionStart).Seconds()
+
+	m := pool.Metrics()
+	totalFrames := m.FramesSimulated.Load()
+	report.Totals = Totals{
+		WallSeconds:         totalWall,
+		Frames:              totalFrames,
+		FramesPerSec:        ratio(float64(totalFrames), totalWall),
+		JobsSubmitted:       m.Submitted.Load(),
+		JobsDeduped:         m.Deduped.Load(),
+		JobEliminationRatio: m.EliminationRatio(),
+		EliminationPassSec:  elimWall,
+	}
+
+	path, err := nextBenchPath(*out)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d runs, elimination ratio %.2f)\n",
+		path, len(report.Runs), report.Totals.JobEliminationRatio)
+	return nil
+}
+
+// nextBenchPath picks BENCH_<n>.json with n one past the highest existing
+// index in dir (created if missing), so the perf trajectory accumulates.
+func nextBenchPath(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Smoke mode must produce a parseable BENCH_1.json with real measurements
+// and a demonstrated elimination pass; a second run appends BENCH_2.json.
+func TestSmokeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-smoke", "-out", dir}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "rebench/1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	// smoke = ccs,mst × base,re
+	if len(rep.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.Frames != 4 {
+			t.Errorf("%s/%s frames = %d, want 4", r.Alias, r.Tech, r.Frames)
+		}
+		if r.FramesPerSec <= 0 || r.WallSeconds <= 0 {
+			t.Errorf("%s/%s throughput not measured: %+v", r.Alias, r.Tech, r)
+		}
+		if r.Cycles == 0 || r.TilesTotal == 0 {
+			t.Errorf("%s/%s missing simulator stats: %+v", r.Alias, r.Tech, r)
+		}
+		if len(r.StageCycles) == 0 {
+			t.Errorf("%s/%s missing per-stage cycles", r.Alias, r.Tech)
+		}
+		if r.Tech == "re" && r.Alias == "ccs" && r.TileSkipFraction <= 0 {
+			t.Errorf("static-camera ccs under RE skipped no tiles: %+v", r)
+		}
+	}
+	// The elimination pass resubmits the whole matrix: half of all
+	// submissions are eliminated.
+	if rep.Totals.JobEliminationRatio != 0.5 {
+		t.Errorf("job elimination ratio = %v, want 0.5", rep.Totals.JobEliminationRatio)
+	}
+	if rep.Totals.JobsSubmitted != 8 || rep.Totals.JobsDeduped != 4 {
+		t.Errorf("totals = %+v", rep.Totals)
+	}
+
+	// Second invocation picks the next index instead of overwriting.
+	if err := run([]string{"-smoke", "-out", dir, "-benchmarks", "ccs", "-techs", "re"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2.json")); err != nil {
+		t.Errorf("second run did not create BENCH_2.json: %v", err)
+	}
+}
+
+// Bad flags fail cleanly.
+func TestBadInputs(t *testing.T) {
+	if err := run([]string{"-benchmarks", "nope", "-smoke", "-out", t.TempDir()}, os.Stdout); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-techs", "quantum", "-smoke", "-out", t.TempDir()}, os.Stdout); err == nil {
+		t.Error("unknown technique accepted")
+	}
+}

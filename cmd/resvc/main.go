@@ -8,6 +8,16 @@
 //	resvc [-addr :8080] [-workers N] [-cache 512] [-timeout 10m] [-retries 2]
 //	      [-checkpoint-interval 1] [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	      [-inject PLAN] [-inject-seed 1] [-log-level info] [-log-format text]
+//	      [-cluster-addr host:port] [-peer host:port]... [-health-interval 2s]
+//	      [-result-ttl 30s] [-tracefile out.json]
+//
+// Clustering: with one or more -peer flags (and -cluster-addr naming this
+// node's own advertised address), the nodes form a static consistent-hash
+// ring over job signatures. A node that receives a job it does not own
+// proxies it to the owner, so the owner's result cache and singleflight
+// eliminate identical jobs cluster-wide; if the owner is unreachable the
+// node degrades to simulating locally. Peers are health-checked over
+// /healthz — a draining peer (503) is routed around before it goes away.
 //
 // Overload and failure handling: the submission queue is bounded — when it
 // is full, POST /jobs sheds load with 429 + Retry-After instead of queueing
@@ -37,9 +47,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rendelim/internal/cluster"
 	"rendelim/internal/fault"
 	"rendelim/internal/jobs"
 	"rendelim/internal/obs"
@@ -73,6 +85,12 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	injectSeed := fs.Int64("inject-seed", 1, "fault-injection PRNG seed")
 	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
 	logFormat := fs.String("log-format", "", "log format: text or json (default text; env "+obs.EnvLogFormat+")")
+	clusterAddr := fs.String("cluster-addr", "", "this node's advertised host:port for clustering (required with -peer)")
+	var peers peerList
+	fs.Var(&peers, "peer", "peer node host:port; repeat for each member (enables clustering)")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "gap between peer /healthz probes")
+	resultTTL := fs.Duration("result-ttl", 30*time.Second, "how long a non-owner serves a remote result locally (read-through cache; negative = off)")
+	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON (cluster forward spans) here on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +108,34 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		log.Warn("fault injection armed", "plan", *inject, "seed", *injectSeed)
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+	}
+
+	// Cluster configuration is validated before anything listens: duplicate
+	// peers or self-peering would silently skew ring ownership, so they are
+	// startup errors, not warnings.
+	var clus *cluster.Cluster
+	if len(peers) > 0 {
+		if *clusterAddr == "" {
+			return fmt.Errorf("-peer requires -cluster-addr (this node's advertised host:port)")
+		}
+		clus, err = cluster.New(cluster.Options{
+			Self:           *clusterAddr,
+			Peers:          peers,
+			HealthInterval: *healthInterval,
+			ResultTTL:      *resultTTL,
+			Logger:         log,
+			Tracer:         tracer,
+		})
+		if err != nil {
+			return err
+		}
+	} else if *clusterAddr != "" {
+		return fmt.Errorf("-cluster-addr without any -peer flags; nothing to cluster with")
+	}
+
 	pool := jobs.New(jobs.Options{
 		Workers:            *workers,
 		CacheSize:          *cacheSize,
@@ -105,10 +151,18 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
 	srv.SetLogger(log)
 	srv.SetFaultPlan(plan)
+	if clus != nil {
+		srv.SetCluster(clus)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if clus != nil {
+		clus.Start()
+		defer clus.Stop()
+		log.Info("cluster armed", "self", clus.Self(), "members", len(clus.Members()))
 	}
 	httpSrv := &http.Server{
 		Handler: srv.Handler(),
@@ -154,6 +208,14 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		log.Warn("pool drain", "err", err)
 	}
 
+	if tracer != nil {
+		if werr := tracer.WriteFile(*traceFile); werr != nil {
+			log.Warn("trace write", "path", *traceFile, "err", werr)
+		} else {
+			log.Info("trace written", "path", *traceFile, "events", tracer.Len())
+		}
+	}
+
 	// Report job elimination the way the simulator reports tile elimination.
 	m := pool.Metrics()
 	log.Info("shutdown complete",
@@ -162,5 +224,20 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		"elimination_ratio", fmt.Sprintf("%.3f", m.EliminationRatio()),
 		"jobs_completed", m.Completed.Load(),
 		"jobs_failed", m.Failed.Load())
+	return nil
+}
+
+// peerList collects repeated -peer flags.
+type peerList []string
+
+// String implements flag.Value.
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+// Set implements flag.Value; each occurrence appends one peer.
+func (p *peerList) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		return fmt.Errorf("empty -peer value")
+	}
+	*p = append(*p, v)
 	return nil
 }

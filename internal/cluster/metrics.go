@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics aggregates the cluster-layer counters for /metrics. The gauges
+// (peer liveness) are read live off the cluster state at scrape time.
+type Metrics struct {
+	Forwarded       atomic.Uint64 // submissions proxied to their owner
+	StatusForwarded atomic.Uint64 // status lookups proxied to their owner
+	RemoteHits      atomic.Uint64 // jobs eliminated by another node's cache (owner dedup or read-through)
+	ReadThroughHits atomic.Uint64 // subset of RemoteHits served from the local read-through cache
+	ForwardErrors   atomic.Uint64 // forwarded hops that failed at transport level
+	Degraded        atomic.Uint64 // submissions simulated locally because the owner was unreachable
+	HealthChecks    atomic.Uint64 // completed health-check sweeps
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+// WritePrometheus renders the cluster metrics in the Prometheus text
+// exposition format, matching the hand-rolled style of jobs.Metrics.
+func (c *Cluster) WritePrometheus(w io.Writer) {
+	m := c.metrics
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("resvc_cluster_forwarded_total", "Job submissions forwarded to their ring owner.", m.Forwarded.Load())
+	counter("resvc_cluster_status_forwarded_total", "Job status lookups forwarded to their ring owner.", m.StatusForwarded.Load())
+	counter("resvc_cluster_remote_hits_total", "Jobs eliminated by a result another node had already computed.", m.RemoteHits.Load())
+	counter("resvc_cluster_readthrough_hits_total", "Remote hits served from the local read-through cache without a hop.", m.ReadThroughHits.Load())
+	counter("resvc_cluster_forward_errors_total", "Forwarded hops that failed at the transport level.", m.ForwardErrors.Load())
+	counter("resvc_cluster_degraded_total", "Submissions simulated locally because their owner was unreachable.", m.Degraded.Load())
+	counter("resvc_cluster_health_checks_total", "Completed peer health-check sweeps.", m.HealthChecks.Load())
+
+	fmt.Fprintf(w, "# HELP resvc_cluster_peer_up Peer liveness as of the last health check (1 up, 0 down).\n# TYPE resvc_cluster_peer_up gauge\n")
+	addrs := make([]string, 0, len(c.peers))
+	for a := range c.peers {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		v := 0
+		if c.peers[a].up.Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "resvc_cluster_peer_up{peer=%q} %d\n", a, v)
+	}
+	fmt.Fprintf(w, "# HELP resvc_cluster_members Ring members (static membership), self included.\n# TYPE resvc_cluster_members gauge\nresvc_cluster_members %d\n", len(c.ring.members))
+	fmt.Fprintf(w, "# HELP resvc_cluster_readthrough_entries Read-through cache entries held locally.\n# TYPE resvc_cluster_readthrough_entries gauge\nresvc_cluster_readthrough_entries %d\n", c.ReadThroughLen())
+}

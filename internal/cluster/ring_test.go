@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rendelim/internal/jobs"
+)
+
+func testKey(i int) jobs.Key {
+	return jobs.Key{TraceSig: uint32(i * 2654435761), CfgHash: uint32(i)}
+}
+
+// Every node must derive the same owner for the same key regardless of the
+// order its -peer flags happened to list the membership in.
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a := newRing([]string{"n1:1", "n2:1", "n3:1"}, 64)
+	b := newRing([]string{"n3:1", "n1:1", "n2:1"}, 64)
+	for i := 0; i < 1000; i++ {
+		k := testKey(i)
+		if oa, ob := a.owner(k, nil), b.owner(k, nil); oa != ob {
+			t.Fatalf("key %v: owner %q vs %q across member orders", k, oa, ob)
+		}
+	}
+}
+
+// Keys must spread across members roughly evenly: with 128 vnodes each, no
+// member of a 3-node ring should own less than half or more than double its
+// fair share over a large key sample.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1:1", "n2:1", "n3:1"}
+	r := newRing(members, 0) // default replicas
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.owner(testKey(i), nil)]++
+	}
+	fair := float64(n) / float64(len(members))
+	for _, m := range members {
+		got := float64(counts[m])
+		if got < fair/2 || got > fair*2 {
+			t.Errorf("member %s owns %d keys, fair share %.0f: imbalance too high (%v)", m, counts[m], fair, counts)
+		}
+	}
+}
+
+// A down member's keys must move to other members — and only the down
+// member's keys: every key owned by a live member keeps its owner.
+func TestRingDownPeerRebalance(t *testing.T) {
+	r := newRing([]string{"n1:1", "n2:1", "n3:1"}, 64)
+	down := "n2:1"
+	alive := func(m string) bool { return m != down }
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		k := testKey(i)
+		before := r.owner(k, nil)
+		after := r.owner(k, alive)
+		if after == down {
+			t.Fatalf("key %v still routed to down member", k)
+		}
+		if before != down && before != after {
+			t.Fatalf("key %v owned by live %q moved to %q when %q went down", k, before, after, down)
+		}
+		if before == down {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the down member; test is vacuous")
+	}
+	// All members down: no owner.
+	if got := r.owner(testKey(1), func(string) bool { return false }); got != "" {
+		t.Fatalf("owner with all members down = %q, want \"\"", got)
+	}
+}
+
+// Ownership fractions must cover the whole circle.
+func TestRingOwnershipSumsToOne(t *testing.T) {
+	r := newRing([]string{"n1:1", "n2:1", "n3:1", "n4:1"}, 0)
+	sum := 0.0
+	for _, f := range r.ownership() {
+		if f <= 0 {
+			t.Fatalf("non-positive ownership fraction: %v", r.ownership())
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership fractions sum to %v, want 1", sum)
+	}
+}
+
+// A single-member ring owns everything.
+func TestRingSingleMember(t *testing.T) {
+	r := newRing([]string{"solo:1"}, 8)
+	for i := 0; i < 100; i++ {
+		if got := r.owner(testKey(i), nil); got != "solo:1" {
+			t.Fatalf("owner = %q, want solo:1", got)
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("node%d:8080", i)
+	}
+	r := newRing(members, 0)
+	alive := func(string) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.owner(testKey(i), alive)
+	}
+}

@@ -369,6 +369,7 @@ func New(opts Options) *Pool {
 	if opts.BreakerThreshold > 0 {
 		p.brk = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
+	p.metrics.inflightFn = p.flight.len
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()

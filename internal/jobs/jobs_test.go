@@ -397,6 +397,46 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	}
 }
 
+// The singleflight in-flight gauge must track the live leader population:
+// 1 while a job executes, 0 once it completes — and render in /metrics so
+// dashboards read it directly instead of deriving it.
+func TestSingleflightInflightGauge(t *testing.T) {
+	block := make(chan struct{})
+	run := func(ctx context.Context, spec Spec, observe func(string, time.Duration)) (gpusim.Result, error) {
+		select {
+		case <-block:
+			return gpusim.Result{Name: spec.Alias}, nil
+		case <-ctx.Done():
+			return gpusim.Result{}, ctx.Err()
+		}
+	}
+	p := New(Options{Workers: 1, Run: run})
+	defer p.Close(context.Background())
+
+	if got := p.Metrics().InflightKeys(); got != 0 {
+		t.Fatalf("idle InflightKeys = %d, want 0", got)
+	}
+	j, err := p.Submit(spec("ccs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Metrics().InflightKeys(); got != 1 {
+		t.Errorf("InflightKeys while running = %d, want 1", got)
+	}
+	var sb strings.Builder
+	p.Metrics().WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "resvc_singleflight_inflight 1") {
+		t.Errorf("metrics missing resvc_singleflight_inflight 1:\n%s", sb.String())
+	}
+	close(block)
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Metrics().InflightKeys(); got != 0 {
+		t.Errorf("InflightKeys after completion = %d, want 0", got)
+	}
+}
+
 // DefaultRun must actually simulate a real (tiny) workload and produce the
 // same result as a direct gpusim run.
 func TestDefaultRunRealWorkload(t *testing.T) {

@@ -41,6 +41,11 @@ type Metrics struct {
 	BreakerRejected atomic.Uint64 // submissions rejected by an open circuit breaker
 	FramesSimulated atomic.Uint64 // frames actually executed (resume skips don't count)
 
+	// inflightFn reads the pool's live singleflight population at scrape
+	// time (gauges derived from pool state rather than counters). Set once
+	// by New; nil in standalone Metrics (renders 0).
+	inflightFn func() int
+
 	mu    sync.Mutex
 	hists map[string]*stats.Histogram
 
@@ -107,6 +112,15 @@ func (m *Metrics) CacheHitRatio() float64 {
 // QueueDepth returns the number of submitted-but-not-running jobs.
 func (m *Metrics) QueueDepth() int64 { return m.queueLen.Load() }
 
+// InflightKeys returns the number of distinct signatures currently holding a
+// singleflight leader (0 when the metrics are not attached to a pool).
+func (m *Metrics) InflightKeys() int {
+	if m.inflightFn == nil {
+		return 0
+	}
+	return m.inflightFn()
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (hand-rolled; the repo is stdlib-only).
 func (m *Metrics) WritePrometheus(w io.Writer) {
@@ -134,9 +148,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("resvc_breaker_rejected_total", "Submissions rejected by an open circuit breaker.", m.BreakerRejected.Load())
 	counter("resvc_sim_frames_executed_total", "Frames actually executed by the built-in runner (checkpoint-resumed frames are not re-executed).", m.FramesSimulated.Load())
 	gaugeF("resvc_job_elimination_ratio", "Fraction of submitted jobs eliminated without simulating (cf. tile skip fraction).", m.EliminationRatio())
-	gaugeF("resvc_cache_hit_ratio", "LRU result cache hit ratio.", m.CacheHitRatio())
+	gaugeF("resvc_cache_hit_ratio", "LRU result cache hit ratio (hits / lookups).", m.CacheHitRatio())
 	gaugeI("resvc_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth())
 	gaugeI("resvc_jobs_running", "Jobs currently executing.", m.Running.Load())
+	gaugeI("resvc_singleflight_inflight", "Distinct job signatures currently holding a singleflight leader.", int64(m.InflightKeys()))
 
 	// Simulator-side totals across all completed runs: per-pipeline-stage
 	// simulated cycles and the Figure 15a tile classification.

@@ -73,3 +73,11 @@ func (f *flight) forget(key Key) {
 	delete(f.calls, key)
 	f.mu.Unlock()
 }
+
+// len reports the number of distinct keys currently in flight — the live
+// singleflight population, exported as a /metrics gauge.
+func (f *flight) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rendelim/internal/cluster"
 	"rendelim/internal/fault"
 	"rendelim/internal/gpusim"
 	"rendelim/internal/jobs"
@@ -58,12 +60,19 @@ func (l *Limits) setDefaults() {
 	}
 }
 
-// Server routes HTTP requests to a jobs.Pool.
+// Server routes HTTP requests to a jobs.Pool — and, when clustered, to the
+// ring owner of each job's signature.
 type Server struct {
 	pool   *jobs.Pool
 	limits Limits
 	start  time.Time
 	log    *slog.Logger
+
+	// cluster, when non-nil, shards job ownership across the fleet: a
+	// submission whose signature this node does not own is proxied to its
+	// owner, so the owner's singleflight and LRU cache eliminate identical
+	// jobs cluster-wide. Set once at startup (SetCluster), read-only after.
+	cluster *cluster.Cluster
 
 	requests atomic.Uint64
 	draining atomic.Bool
@@ -74,8 +83,9 @@ type Server struct {
 // spin up many Servers; the published Funcs read through this pointer to
 // whichever pool the newest Server wraps.
 var (
-	expvarPool atomic.Pointer[jobs.Pool]
-	expvarOnce sync.Once
+	expvarPool    atomic.Pointer[jobs.Pool]
+	expvarCluster atomic.Pointer[cluster.Cluster]
+	expvarOnce    sync.Once
 )
 
 func publishExpvars() {
@@ -93,6 +103,14 @@ func publishExpvars() {
 			}
 			return 0
 		}))
+		// Ring ownership: which member owns what fraction of the signature
+		// space, with current liveness — the at-a-glance sharding view.
+		expvar.Publish("resvc_cluster_ring", expvar.Func(func() any {
+			if c := expvarCluster.Load(); c != nil {
+				return c.Ownership()
+			}
+			return nil
+		}))
 	})
 }
 
@@ -109,6 +127,14 @@ func (s *Server) SetLogger(l *slog.Logger) {
 	if l != nil {
 		s.log = l
 	}
+}
+
+// SetCluster joins the server to a cluster: submissions this node does not
+// own are forwarded to their ring owner, owned submissions run locally.
+// Must be called before the server starts handling requests.
+func (s *Server) SetCluster(c *cluster.Cluster) {
+	s.cluster = c
+	expvarCluster.Store(c)
 }
 
 // SetFaultPlan arms fault injection at the server.accept site (and nothing
@@ -207,6 +233,7 @@ type JobResponse struct {
 	Result   *jobs.ResultSummary `json:"result,omitempty"`
 	Detail   string              `json:"detail,omitempty"`
 	Location string              `json:"location,omitempty"`
+	Node     string              `json:"node,omitempty"` // owning cluster node, when forwarded
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -216,18 +243,37 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	ct := r.Header.Get("Content-Type")
 	var spec jobs.Spec
+	var body []byte
 	var err error
 	switch {
 	case strings.HasPrefix(ct, "application/json"), ct == "":
-		spec, err = s.specFromJSON(r)
+		body, spec, err = s.specFromJSON(r)
 	default: // binary trace upload (application/octet-stream or similar)
-		spec, err = s.specFromTrace(r)
+		body, spec, err = s.specFromTrace(r)
 	}
 	if err != nil {
 		httpError(w, statusForError(err), err.Error())
 		return
 	}
 
+	// Cluster routing: a signature this node does not own goes to its ring
+	// owner, whose singleflight + cache eliminate identical jobs fleet-wide.
+	// A request that already carries the forward header is processed locally
+	// unconditionally — divergent ring views must never bounce a job around.
+	if s.cluster != nil && r.Header.Get(cluster.ForwardHeader) == "" {
+		if owner := s.cluster.Owner(spec.Key()); !s.cluster.IsSelf(owner) {
+			if s.forwardSubmit(w, r, owner, spec.Key(), body, ct) {
+				return
+			}
+			// Owner unreachable: degraded mode — fall through and simulate
+			// locally rather than failing the request.
+		}
+	}
+	s.submitLocal(w, r, spec)
+}
+
+// submitLocal runs the submission against this node's own pool.
+func (s *Server) submitLocal(w http.ResponseWriter, r *http.Request, spec jobs.Spec) {
 	job, err := s.pool.TrySubmit(spec)
 	if err != nil {
 		status := statusForError(err)
@@ -252,28 +298,29 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// specFromJSON parses a workload-spec submission.
-func (s *Server) specFromJSON(r *http.Request) (jobs.Spec, error) {
+// specFromJSON parses a workload-spec submission. The raw body rides along
+// for cluster forwarding, which re-sends the client's payload verbatim.
+func (s *Server) specFromJSON(r *http.Request) ([]byte, jobs.Spec, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		return jobs.Spec{}, fmt.Errorf("%w: read body: %v", rerr.ErrBadConfig, err)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: read body: %v", rerr.ErrBadConfig, err)
 	}
 	var req SubmitRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return jobs.Spec{}, fmt.Errorf("%w: bad JSON: %v", rerr.ErrBadConfig, err)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: bad JSON: %v", rerr.ErrBadConfig, err)
 	}
 	if req.Alias == "" {
-		return jobs.Spec{}, fmt.Errorf("%w: missing alias", rerr.ErrBadConfig)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: missing alias", rerr.ErrBadConfig)
 	}
 	if _, err := workload.ByAlias(req.Alias); err != nil {
-		return jobs.Spec{}, err // wraps rerr.ErrUnknownBenchmark
+		return nil, jobs.Spec{}, err // wraps rerr.ErrUnknownBenchmark
 	}
 	if req.Tech == "" {
 		req.Tech = "re"
 	}
 	tech, err := gpusim.ParseTechnique(req.Tech)
 	if err != nil {
-		return jobs.Spec{}, fmt.Errorf("%w: %v", rerr.ErrBadConfig, err)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: %v", rerr.ErrBadConfig, err)
 	}
 	p := workload.DefaultParams()
 	if req.Width > 0 {
@@ -289,33 +336,33 @@ func (s *Server) specFromJSON(r *http.Request) (jobs.Spec, error) {
 		p.Seed = req.Seed
 	}
 	if p.Width*p.Height > s.limits.MaxPixels {
-		return jobs.Spec{}, fmt.Errorf("%w: resolution %dx%d over limit", rerr.ErrBadConfig, p.Width, p.Height)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: resolution %dx%d over limit", rerr.ErrBadConfig, p.Width, p.Height)
 	}
 	if p.Frames > s.limits.MaxFrames {
-		return jobs.Spec{}, fmt.Errorf("%w: frames %d over limit %d", rerr.ErrBadConfig, p.Frames, s.limits.MaxFrames)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: frames %d over limit %d", rerr.ErrBadConfig, p.Frames, s.limits.MaxFrames)
 	}
-	return jobs.Spec{Alias: req.Alias, Params: p, Tech: tech, Tag: req.Tag}, nil
+	return body, jobs.Spec{Alias: req.Alias, Params: p, Tech: tech, Tag: req.Tag}, nil
 }
 
 // specFromTrace validates a binary trace upload. The raw bytes become the
 // job's signature input; technique and tag come from query parameters.
-func (s *Server) specFromTrace(r *http.Request) (jobs.Spec, error) {
+func (s *Server) specFromTrace(r *http.Request) ([]byte, jobs.Spec, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.limits.MaxBodyBytes+1))
 	if err != nil {
-		return jobs.Spec{}, fmt.Errorf("%w: read body: %v", rerr.ErrBadTrace, err)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: read body: %v", rerr.ErrBadTrace, err)
 	}
 	if int64(len(body)) > s.limits.MaxBodyBytes {
-		return jobs.Spec{}, fmt.Errorf("%w: trace over %d-byte limit", rerr.ErrBadTrace, s.limits.MaxBodyBytes)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: trace over %d-byte limit", rerr.ErrBadTrace, s.limits.MaxBodyBytes)
 	}
 	tr, err := trace.Decode(bytes.NewReader(body))
 	if err != nil {
-		return jobs.Spec{}, err // wraps rerr.ErrBadTrace
+		return nil, jobs.Spec{}, err // wraps rerr.ErrBadTrace
 	}
 	if tr.Width*tr.Height > s.limits.MaxPixels {
-		return jobs.Spec{}, fmt.Errorf("%w: trace resolution %dx%d over limit", rerr.ErrBadTrace, tr.Width, tr.Height)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: trace resolution %dx%d over limit", rerr.ErrBadTrace, tr.Width, tr.Height)
 	}
 	if len(tr.Frames) > s.limits.MaxFrames {
-		return jobs.Spec{}, fmt.Errorf("%w: trace frame count %d over limit %d", rerr.ErrBadTrace, len(tr.Frames), s.limits.MaxFrames)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: trace frame count %d over limit %d", rerr.ErrBadTrace, len(tr.Frames), s.limits.MaxFrames)
 	}
 	techStr := r.URL.Query().Get("tech")
 	if techStr == "" {
@@ -323,9 +370,86 @@ func (s *Server) specFromTrace(r *http.Request) (jobs.Spec, error) {
 	}
 	tech, err := gpusim.ParseTechnique(techStr)
 	if err != nil {
-		return jobs.Spec{}, fmt.Errorf("%w: %v", rerr.ErrBadConfig, err)
+		return nil, jobs.Spec{}, fmt.Errorf("%w: %v", rerr.ErrBadConfig, err)
 	}
-	return jobs.Spec{TraceBin: body, Tech: tech, Tag: r.URL.Query().Get("tag")}, nil
+	return body, jobs.Spec{TraceBin: body, Tech: tech, Tag: r.URL.Query().Get("tag")}, nil
+}
+
+// forwardSubmit proxies a submission to its ring owner, serving from the
+// local read-through cache when possible. Reports whether the request was
+// handled; false means the owner was unreachable and the caller should fall
+// back to local simulation (degraded mode — availability over strict
+// ownership; the jobs run twice in the worst case, never zero times).
+func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, owner string, key jobs.Key, body []byte, contentType string) bool {
+	// Read-through: a completed result this node recently fetched for the
+	// same signature is served locally — elimination without even a hop.
+	if rep := s.cluster.CachedResult(key); rep != nil {
+		s.relayReply(w, rep, key, relayReadThrough)
+		return true
+	}
+	rep, err := s.cluster.ForwardSubmit(r.Context(), owner, body, contentType, r.URL.Query())
+	if err != nil {
+		if errors.Is(err, cluster.ErrPeerUnavailable) {
+			s.cluster.Metrics().Degraded.Add(1)
+			s.log.Warn("owner unreachable; degrading to local simulation",
+				"owner", owner, "key", key.String(), "err", err)
+			return false
+		}
+		httpError(w, statusForError(err), err.Error())
+		return true
+	}
+	s.relayReply(w, rep, key, relayForwarded)
+	return true
+}
+
+// relayMode says how a peer reply reached this node, which decides the
+// elimination accounting and caching relayReply applies.
+type relayMode int
+
+const (
+	relayForwarded   relayMode = iota // fresh reply to a forwarded submit
+	relayReadThrough                  // served from the local read-through cache
+	relayStatus                       // proxied GET /jobs/{id}
+)
+
+// relayReply writes a forwarded (or read-through-cached) owner reply to the
+// client, rewriting the routing fields so follow-up GETs reach the owner.
+func (s *Server) relayReply(w http.ResponseWriter, rep *cluster.Reply, key jobs.Key, mode relayMode) {
+	if rep.RetryAfter != "" {
+		w.Header().Set("Retry-After", rep.RetryAfter)
+	}
+	var resp JobResponse
+	if err := json.Unmarshal(rep.Body, &resp); err != nil || resp.ID == "" {
+		if rep.StatusCode >= 200 && rep.StatusCode < 300 {
+			httpError(w, http.StatusBadGateway, cluster.ErrPeerBadResponse.Error())
+			return
+		}
+		// Error replies (429, 503, 400...) relay as-is even when their
+		// shape is not a job response.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(rep.StatusCode)
+		w.Write(rep.Body)
+		return
+	}
+	resp.Node = rep.Owner
+	resp.Location = "/jobs/" + resp.ID + "?peer=" + url.QueryEscape(rep.Owner)
+	switch mode {
+	case relayReadThrough:
+		// A read-through hit is an elimination from the submitter's point
+		// of view even though the owner's original reply was the leader run.
+		resp.Deduped = true
+	case relayForwarded:
+		if resp.Deduped {
+			// The owner eliminated this job with a result (or in-flight
+			// execution) some earlier submission — possibly through another
+			// node — had produced: a cluster-wide cache hit.
+			s.cluster.Metrics().RemoteHits.Add(1)
+		}
+		if resp.State == jobs.Done.String() && rep.StatusCode == http.StatusOK {
+			s.cluster.StoreResult(key, rep)
+		}
+	}
+	writeJSON(w, rep.StatusCode, resp)
 }
 
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
@@ -334,6 +458,33 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	// ?peer= names the owning node of a forwarded job (the Location a
+	// clustered POST handed back). Proxy the lookup there — unlike submit,
+	// a status lookup has no degraded fallback (the job state exists only
+	// on the owner), so peer failures surface as typed 502/503.
+	if peer := r.URL.Query().Get("peer"); peer != "" && s.cluster != nil &&
+		r.Header.Get(cluster.ForwardHeader) == "" {
+		np, err := cluster.NormalizeAddr(peer)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if !s.cluster.IsSelf(np) {
+			q := r.URL.Query()
+			q.Del("peer")
+			rep, err := s.cluster.ForwardStatus(r.Context(), np, id, q)
+			if err != nil {
+				status := statusForError(err)
+				if ra := retryAfter(err); ra > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(ra))
+				}
+				httpError(w, status, err.Error())
+				return
+			}
+			s.relayReply(w, rep, jobs.Key{}, relayStatus)
+			return
+		}
+	}
 	job, ok := s.pool.Get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
@@ -383,6 +534,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.pool.Metrics().WritePrometheus(w)
+	if s.cluster != nil {
+		s.cluster.WritePrometheus(w)
+	}
 	fmt.Fprintf(w, "# HELP resvc_http_requests_total HTTP requests served.\n# TYPE resvc_http_requests_total counter\nresvc_http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(w, "# HELP resvc_result_cache_entries Cached simulation results.\n# TYPE resvc_result_cache_entries gauge\nresvc_result_cache_entries %d\n", s.pool.CacheLen())
 	// Per-benchmark breaker gauge: emitted here (not in jobs.Metrics)
@@ -423,8 +577,10 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 
 // statusForError maps error classes to HTTP statuses: client mistakes (bad
 // trace, bad config, unknown benchmark) are 400, overload is 429, an open
-// breaker or a draining pool is 503. Anything unclassified is a server-side
-// 500 — never blamed on the client.
+// breaker or a draining pool is 503. Cluster-layer failures are gateway
+// statuses — 503 + Retry-After for an unreachable peer, 502 for a peer that
+// answered garbage. Anything unclassified is a server-side 500 — never
+// blamed on the client.
 func statusForError(err error) int {
 	switch {
 	case errors.Is(err, rerr.ErrBadTrace),
@@ -433,8 +589,11 @@ func statusForError(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, jobs.ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, jobs.ErrBreakerOpen), errors.Is(err, jobs.ErrClosed):
+	case errors.Is(err, jobs.ErrBreakerOpen), errors.Is(err, jobs.ErrClosed),
+		errors.Is(err, cluster.ErrPeerUnavailable):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, cluster.ErrPeerBadResponse):
+		return http.StatusBadGateway
 	}
 	return http.StatusInternalServerError
 }
@@ -450,7 +609,7 @@ func retryAfter(err error) int {
 		}
 		return sec
 	}
-	if errors.Is(err, jobs.ErrOverloaded) {
+	if errors.Is(err, jobs.ErrOverloaded) || errors.Is(err, cluster.ErrPeerUnavailable) {
 		return 1
 	}
 	return 0

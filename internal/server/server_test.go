@@ -336,7 +336,7 @@ func TestSpecErrorsWrapSentinels(t *testing.T) {
 	}
 	for _, tc := range jsonCases {
 		r := httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(tc.body))
-		_, err := srv.specFromJSON(r)
+		_, _, err := srv.specFromJSON(r)
 		if err == nil {
 			t.Fatalf("%s: accepted", tc.name)
 		}
@@ -348,7 +348,7 @@ func TestSpecErrorsWrapSentinels(t *testing.T) {
 		}
 	}
 	r := httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(`{"alias": "nope"}`))
-	if _, err := srv.specFromJSON(r); !errors.Is(err, rerr.ErrUnknownBenchmark) {
+	if _, _, err := srv.specFromJSON(r); !errors.Is(err, rerr.ErrUnknownBenchmark) {
 		t.Errorf("unknown alias: %v does not wrap ErrUnknownBenchmark", err)
 	}
 
@@ -361,7 +361,7 @@ func TestSpecErrorsWrapSentinels(t *testing.T) {
 	}
 	for _, tc := range traceCases {
 		r := httptest.NewRequest(http.MethodPost, "/jobs", bytes.NewReader(tc.body))
-		_, err := srv.specFromTrace(r)
+		_, _, err := srv.specFromTrace(r)
 		if err == nil {
 			t.Fatalf("%s: accepted", tc.name)
 		}
@@ -382,7 +382,7 @@ func TestSpecErrorsWrapSentinels(t *testing.T) {
 		t.Fatal(err)
 	}
 	r = httptest.NewRequest(http.MethodPost, "/jobs?tech=quantum", bytes.NewReader(buf.Bytes()))
-	if _, err := srv.specFromTrace(r); !errors.Is(err, rerr.ErrBadConfig) {
+	if _, _, err := srv.specFromTrace(r); !errors.Is(err, rerr.ErrBadConfig) {
 		t.Errorf("bad upload tech: %v does not wrap ErrBadConfig", err)
 	}
 }
