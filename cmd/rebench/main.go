@@ -25,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -39,14 +41,35 @@ import (
 
 // Report is the top-level BENCH_<n>.json document.
 type Report struct {
-	Schema     string    `json:"schema"` // "rebench/1"
-	Started    time.Time `json:"started"`
-	GoVersion  string    `json:"go_version"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Smoke      bool      `json:"smoke"`
-	Params     Params    `json:"params"`
-	Runs       []Run     `json:"runs"`
-	Totals     Totals    `json:"totals"`
+	Schema      string    `json:"schema"` // "rebench/1"
+	Started     time.Time `json:"started"`
+	GeneratedAt string    `json:"generated_at"`           // ISO-8601 UTC, stamped at write time
+	GitRevision string    `json:"git_revision,omitempty"` // VCS commit the binary was built from
+	GoVersion   string    `json:"go_version"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	Smoke       bool      `json:"smoke"`
+	Params      Params    `json:"params"`
+	Runs        []Run     `json:"runs"`
+	Totals      Totals    `json:"totals"`
+}
+
+// gitRevision identifies the commit this binary was built from: the
+// build-info VCS stamp when the binary was built from a checkout (`go build`
+// embeds it), falling back to asking git directly for `go run` / `go test`
+// invocations, where the stamp is absent. Empty when neither source knows.
+func gitRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // Params echoes the workload scaling of every run.
@@ -140,11 +163,12 @@ func run(args []string, stdout *os.File) error {
 	defer pool.Close(context.Background())
 
 	report := Report{
-		Schema:     "rebench/1",
-		Started:    time.Now().UTC(),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Smoke:      *smoke,
+		Schema:      "rebench/1",
+		Started:     time.Now().UTC(),
+		GitRevision: gitRevision(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Smoke:       *smoke,
 		Params: Params{
 			Width: p.Width, Height: p.Height, Frames: p.Frames, Seed: p.Seed,
 			Workers: pool.Workers(), TileWorkers: *tileWorkers,
@@ -226,6 +250,7 @@ func run(args []string, stdout *os.File) error {
 		EliminationPassSec:  elimWall,
 	}
 
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	path, err := nextBenchPath(*out)
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // Smoke mode must produce a parseable BENCH_1.json with real measurements
@@ -27,6 +28,15 @@ func TestSmokeReport(t *testing.T) {
 	}
 	if rep.Schema != "rebench/1" {
 		t.Errorf("schema = %q", rep.Schema)
+	}
+	// generated_at must be a parseable ISO-8601 timestamp stamped at write
+	// time; git_revision must match the repo's HEAD (tests run from a
+	// checkout, so the git fallback always resolves).
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		t.Errorf("generated_at %q is not RFC 3339: %v", rep.GeneratedAt, err)
+	}
+	if want := gitRevision(); want != "" && rep.GitRevision != want {
+		t.Errorf("git_revision = %q, want %q", rep.GitRevision, want)
 	}
 	// smoke = ccs,mst × base,re
 	if len(rep.Runs) != 4 {

@@ -9,7 +9,7 @@
 //	      [-checkpoint-interval 1] [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	      [-inject PLAN] [-inject-seed 1] [-log-level info] [-log-format text]
 //	      [-cluster-addr host:port] [-peer host:port]... [-health-interval 2s]
-//	      [-result-ttl 30s] [-tracefile out.json]
+//	      [-result-ttl 30s] [-tracefile out.json] [-journal 256]
 //
 // Clustering: with one or more -peer flags (and -cluster-addr naming this
 // node's own advertised address), the nodes form a static consistent-hash
@@ -35,6 +35,13 @@
 //	                    per-pipeline-stage simulated cycles, tile classes
 //	GET  /debug/pprof   runtime profiling (CPU, heap, goroutines, ...)
 //	GET  /debug/vars    expvar: build info, queue depth, cache size
+//	GET  /debug/events  flight recorder: recent job/cluster events as JSON
+//
+// Every request runs under a W3C trace context: an inbound traceparent
+// header is honored (forwarded hops re-propagate it), otherwise a fresh
+// trace id is minted; the id is attached to every request log line and
+// returned in job responses. -tracefile captures the spans Chrome-trace
+// style; restat renders the fleet's metrics as a live dashboard.
 package main
 
 import (
@@ -90,7 +97,8 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	fs.Var(&peers, "peer", "peer node host:port; repeat for each member (enables clustering)")
 	healthInterval := fs.Duration("health-interval", 2*time.Second, "gap between peer /healthz probes")
 	resultTTL := fs.Duration("result-ttl", 30*time.Second, "how long a non-owner serves a remote result locally (read-through cache; negative = off)")
-	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON (cluster forward spans) here on shutdown")
+	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON (HTTP request and cluster forward spans) here on shutdown")
+	journalSize := fs.Int("journal", obs.DefaultJournalSize, "event-journal ring size served at /debug/events")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,7 +119,15 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	var tracer *obs.Tracer
 	if *traceFile != "" {
 		tracer = obs.NewTracer()
+		// pid-tag the spans so traces from several nodes merge into one
+		// Perfetto timeline with a labeled track group per node.
+		procName := "resvc " + *addr
+		if *clusterAddr != "" {
+			procName = "resvc " + *clusterAddr
+		}
+		tracer.SetProcess(os.Getpid(), procName)
 	}
+	journal := obs.NewJournal(*journalSize)
 
 	// Cluster configuration is validated before anything listens: duplicate
 	// peers or self-peering would silently skew ring ownership, so they are
@@ -128,6 +144,7 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 			ResultTTL:      *resultTTL,
 			Logger:         log,
 			Tracer:         tracer,
+			Journal:        journal,
 		})
 		if err != nil {
 			return err
@@ -147,10 +164,13 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		BreakerThreshold:   *brkThreshold,
 		BreakerCooldown:    *brkCooldown,
 		Fault:              plan,
+		Journal:            journal,
 	})
 	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
 	srv.SetLogger(log)
 	srv.SetFaultPlan(plan)
+	srv.SetTracer(tracer)
+	srv.SetJournal(journal)
 	if clus != nil {
 		srv.SetCluster(clus)
 	}

@@ -53,8 +53,10 @@ type Reply struct {
 
 // ForwardSubmit proxies one POST /jobs to the owner. body and contentType
 // are the client's original payload; query is relayed so ?wait and ?tech
-// survive the hop.
-func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, body []byte, contentType string, query url.Values) (*Reply, error) {
+// survive the hop. key is the job signature being routed — it rides into
+// error wrap messages (satisfying "which key failed against which peer")
+// and the forwarded-hop trace span.
+func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, key jobs.Key, body []byte, contentType string, query url.Values) (*Reply, error) {
 	c.metrics.Forwarded.Add(1)
 	u := "http://" + owner + "/jobs"
 	if len(query) > 0 {
@@ -62,12 +64,12 @@ func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, body []byte, 
 	}
 	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrPeerBadResponse, err)
+		return nil, fmt.Errorf("%w: peer %s: key %s: %v", ErrPeerBadResponse, owner, key, err)
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	return c.roundTrip(ctx, req, owner, "cluster.forward")
+	return c.roundTrip(ctx, req, owner, "key "+key.String(), "cluster.forward")
 }
 
 // ForwardStatus proxies one GET /jobs/{id} to the owner; query relays ?wait.
@@ -79,42 +81,59 @@ func (c *Cluster) ForwardStatus(ctx context.Context, owner, id string, query url
 	}
 	req, err := http.NewRequest(http.MethodGet, u, nil)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrPeerBadResponse, err)
+		return nil, fmt.Errorf("%w: peer %s: job %s: %v", ErrPeerBadResponse, owner, id, err)
 	}
-	return c.roundTrip(ctx, req, owner, "cluster.status")
+	return c.roundTrip(ctx, req, owner, "job "+id, "cluster.status")
 }
 
 // roundTrip executes one forwarded hop with the forward deadline, the
-// loop-prevention header, and a tracer span carrying the peer address.
-func (c *Cluster) roundTrip(ctx context.Context, req *http.Request, owner, span string) (*Reply, error) {
+// loop-prevention header, the propagated trace context, and a tracer span
+// carrying the peer address. what names the routed object ("key <sig>" or
+// "job <id>") for error wrap messages, so a forwarded-failure log line
+// identifies both the peer and what was being asked of it.
+func (c *Cluster) roundTrip(ctx context.Context, req *http.Request, owner, what, span string) (*Reply, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.forwardTimeout)
 	defer cancel()
 	req = req.WithContext(ctx)
 	req.Header.Set(ForwardHeader, c.self)
 
-	th := c.spans.get()
-	th.Begin(span + " " + owner)
+	// Distributed tracing: the request's trace context crosses the hop as a
+	// W3C traceparent header with a fresh span id, so the receiving node's
+	// spans and log lines join the same trace.
+	tc, traced := obs.TraceFromContext(ctx)
+	if traced {
+		tc = tc.Child()
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	}
+
+	th := c.spans.Get()
+	if traced {
+		th.BeginArgStr(span+" "+owner, "trace_id", tc.TraceIDString())
+	} else {
+		th.Begin(span + " " + owner)
+	}
 	start := time.Now()
 	resp, err := c.client.Do(req)
 	elapsed := time.Since(start)
 	th.End()
-	c.spans.put(th)
+	c.spans.Put(th)
+	c.metrics.ForwardSeconds.Observe(elapsed.Seconds())
 
 	if err != nil {
 		c.metrics.ForwardErrors.Add(1)
-		c.log.Warn("forward failed", "peer", owner, "path", req.URL.Path,
+		c.log.Warn("forward failed", "peer", owner, "what", what, "path", req.URL.Path,
 			"elapsed", elapsed, "err", err)
-		return nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, owner, err)
+		return nil, fmt.Errorf("%w: peer %s: %s: %v", ErrPeerUnavailable, owner, what, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
 		c.metrics.ForwardErrors.Add(1)
-		return nil, fmt.Errorf("%w: %s: reading body: %v", ErrPeerUnavailable, owner, err)
+		return nil, fmt.Errorf("%w: peer %s: %s: reading body: %v", ErrPeerUnavailable, owner, what, err)
 	}
 	if ct := resp.Header.Get("Content-Type"); resp.StatusCode != http.StatusNotFound &&
 		ct != "" && !isJSON(ct) {
-		return nil, fmt.Errorf("%w: %s: content-type %q", ErrPeerBadResponse, owner, ct)
+		return nil, fmt.Errorf("%w: peer %s: %s: content-type %q", ErrPeerBadResponse, owner, what, ct)
 	}
 	return &Reply{
 		StatusCode: resp.StatusCode,
@@ -221,44 +240,4 @@ func (c *Cluster) ReadThroughLen() int {
 		return 0
 	}
 	return c.rt.len()
-}
-
-// ---------------------------------------------------------------------------
-// Tracer span pool
-
-// spanPool hands out obs.Threads for forwarded-hop spans. A Thread's span
-// stack is single-goroutine, but forwards run on concurrent handler
-// goroutines, so each hop borrows a dedicated thread (track) and returns
-// it; concurrent hops get distinct tracks instead of corrupting one stack.
-type spanPool struct {
-	tracer *obs.Tracer
-	mu     sync.Mutex
-	free   []*obs.Thread
-	n      int
-}
-
-func newSpanPool(t *obs.Tracer) *spanPool { return &spanPool{tracer: t} }
-
-func (p *spanPool) get() *obs.Thread {
-	if p == nil || p.tracer == nil {
-		return nil // nil Thread: every method is a no-op
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if n := len(p.free); n > 0 {
-		th := p.free[n-1]
-		p.free = p.free[:n-1]
-		return th
-	}
-	p.n++
-	return p.tracer.Thread(fmt.Sprintf("cluster-hop-%d", p.n))
-}
-
-func (p *spanPool) put(th *obs.Thread) {
-	if p == nil || th == nil {
-		return
-	}
-	p.mu.Lock()
-	p.free = append(p.free, th)
-	p.mu.Unlock()
 }

@@ -66,6 +66,10 @@ type Options struct {
 	// ("cluster.forward" / "cluster.status") so remote time is visible in
 	// the same Chrome-trace timeline as the simulator's pipeline spans.
 	Tracer *obs.Tracer
+
+	// Journal, when non-nil, receives peer up/down transitions for the
+	// /debug/events flight recorder. Nil-safe throughout.
+	Journal *obs.Journal
 }
 
 // peerState is one peer's health record.
@@ -85,7 +89,8 @@ type Cluster struct {
 	metrics *Metrics
 	rt      *readThrough
 	tracer  *obs.Tracer
-	spans   *spanPool
+	spans   *obs.SpanPool
+	journal *obs.Journal
 
 	healthInterval time.Duration
 	healthTimeout  time.Duration
@@ -183,7 +188,8 @@ func New(opts Options) (*Cluster, error) {
 		log:            opts.Logger,
 		metrics:        newMetrics(),
 		tracer:         opts.Tracer,
-		spans:          newSpanPool(opts.Tracer),
+		spans:          obs.NewSpanPool(opts.Tracer, "cluster-hop"),
+		journal:        opts.Journal,
 		healthInterval: opts.HealthInterval,
 		healthTimeout:  opts.HealthTimeout,
 		forwardTimeout: opts.ForwardTimeout,
@@ -291,8 +297,10 @@ func (c *Cluster) checkAll() {
 			if ps.up.Swap(up) != up {
 				if up {
 					c.log.Info("peer up", "peer", ps.addr)
+					c.journal.Record("peer.up", "peer passed a health probe", "peer", ps.addr)
 				} else {
 					c.log.Warn("peer down", "peer", ps.addr)
+					c.journal.Record("peer.down", "peer failed a health probe (or is draining)", "peer", ps.addr)
 				}
 			}
 		}(ps)

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"rendelim/internal/obs"
 )
 
 func TestNormalizeAddr(t *testing.T) {
@@ -133,12 +135,23 @@ func TestForwardSubmitPeerUnavailable(t *testing.T) {
 	}
 	// Port 9 (discard) is almost certainly closed; a refused connection is
 	// the expected transport failure either way.
-	_, ferr := c.ForwardSubmit(context.Background(), "127.0.0.1:9", []byte(`{}`), "application/json", nil)
+	key := testKey(7)
+	_, ferr := c.ForwardSubmit(context.Background(), "127.0.0.1:9", key, []byte(`{}`), "application/json", nil)
 	if !errors.Is(ferr, ErrPeerUnavailable) {
 		t.Fatalf("got %v, want ErrPeerUnavailable", ferr)
 	}
+	// Forwarded-failure messages must identify the peer and the attempted
+	// key, so the log line alone is actionable.
+	for _, want := range []string{"127.0.0.1:9", key.String()} {
+		if !strings.Contains(ferr.Error(), want) {
+			t.Errorf("error %q does not mention %q", ferr, want)
+		}
+	}
 	if c.Metrics().ForwardErrors.Load() != 1 {
 		t.Errorf("ForwardErrors = %d, want 1", c.Metrics().ForwardErrors.Load())
+	}
+	if c.Metrics().ForwardSeconds.Count() != 1 {
+		t.Errorf("ForwardSeconds count = %d, want 1 (failed hops are observed too)", c.Metrics().ForwardSeconds.Count())
 	}
 }
 
@@ -157,9 +170,57 @@ func TestForwardSubmitBadResponse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ferr := c.ForwardSubmit(context.Background(), addr, []byte(`{}`), "application/json", nil)
+	_, ferr := c.ForwardSubmit(context.Background(), addr, testKey(1), []byte(`{}`), "application/json", nil)
 	if !errors.Is(ferr, ErrPeerBadResponse) {
 		t.Fatalf("got %v, want ErrPeerBadResponse", ferr)
+	}
+	if !strings.Contains(ferr.Error(), addr) {
+		t.Errorf("error %q does not mention peer %q", ferr, addr)
+	}
+}
+
+// A forwarded hop must carry the request's trace context across the wire as
+// a W3C traceparent header — same trace id, fresh span id.
+func TestForwardPropagatesTraceContext(t *testing.T) {
+	tc := obs.NewTraceContext()
+	var gotHeader atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader.Store(r.Header.Get(obs.TraceparentHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"j-000001","state":"done"}`))
+	}))
+	defer peer.Close()
+	addr := strings.TrimPrefix(peer.URL, "http://")
+	c, err := New(Options{Self: "127.0.0.1:1", Peers: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	if _, err := c.ForwardSubmit(ctx, addr, testKey(3), []byte(`{}`), "application/json", nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr, _ := gotHeader.Load().(string)
+	if hdr == "" {
+		t.Fatal("forwarded request carried no traceparent header")
+	}
+	hopTC, err := obs.ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("peer received malformed traceparent %q: %v", hdr, err)
+	}
+	if hopTC.TraceID != tc.TraceID {
+		t.Errorf("trace id changed across the hop: %s != %s", hopTC.TraceIDString(), tc.TraceIDString())
+	}
+	if hopTC.SpanID == tc.SpanID {
+		t.Error("hop reused the parent span id; want a child span")
+	}
+
+	// Without a trace in the context, no header is sent.
+	gotHeader.Store("")
+	if _, err := c.ForwardSubmit(context.Background(), addr, testKey(3), []byte(`{}`), "application/json", nil); err != nil {
+		t.Fatal(err)
+	}
+	if hdr, _ := gotHeader.Load().(string); hdr != "" {
+		t.Errorf("untraced forward sent traceparent %q", hdr)
 	}
 }
 

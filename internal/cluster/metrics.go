@@ -5,7 +5,14 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+
+	"rendelim/internal/stats"
 )
+
+// forwardBuckets are the forward round-trip histogram bounds in seconds:
+// loopback hops sit in the sub-millisecond buckets, a ?wait=1 forward can
+// legitimately hold for the whole simulation.
+var forwardBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
 // Metrics aggregates the cluster-layer counters for /metrics. The gauges
 // (peer liveness) are read live off the cluster state at scrape time.
@@ -17,9 +24,16 @@ type Metrics struct {
 	ForwardErrors   atomic.Uint64 // forwarded hops that failed at transport level
 	Degraded        atomic.Uint64 // submissions simulated locally because the owner was unreachable
 	HealthChecks    atomic.Uint64 // completed health-check sweeps
+
+	// ForwardSeconds distributes forwarded-hop round-trip time (submit and
+	// status hops alike, including failures), the cluster's contribution to
+	// end-to-end latency.
+	ForwardSeconds *stats.Histogram
 }
 
-func newMetrics() *Metrics { return &Metrics{} }
+func newMetrics() *Metrics {
+	return &Metrics{ForwardSeconds: stats.NewHistogram(forwardBuckets...)}
+}
 
 // WritePrometheus renders the cluster metrics in the Prometheus text
 // exposition format, matching the hand-rolled style of jobs.Metrics.
@@ -35,6 +49,9 @@ func (c *Cluster) WritePrometheus(w io.Writer) {
 	counter("resvc_cluster_forward_errors_total", "Forwarded hops that failed at the transport level.", m.ForwardErrors.Load())
 	counter("resvc_cluster_degraded_total", "Submissions simulated locally because their owner was unreachable.", m.Degraded.Load())
 	counter("resvc_cluster_health_checks_total", "Completed peer health-check sweeps.", m.HealthChecks.Load())
+
+	fmt.Fprintf(w, "# HELP resvc_cluster_forward_seconds Forwarded-hop round-trip time (submit and status hops, including failures).\n# TYPE resvc_cluster_forward_seconds histogram\n")
+	m.ForwardSeconds.WritePrometheus(w, "resvc_cluster_forward_seconds", "")
 
 	fmt.Fprintf(w, "# HELP resvc_cluster_peer_up Peer liveness as of the last health check (1 up, 0 down).\n# TYPE resvc_cluster_peer_up gauge\n")
 	addrs := make([]string, 0, len(c.peers))

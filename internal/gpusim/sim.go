@@ -413,6 +413,10 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 
 	if s.tr != nil {
 		s.tr.Counter("tiles-skipped", "skipped", int64(st.TilesSkipped))
+		// Per-frame elimination ratio in permille (counter args are ints):
+		// the live, per-frame form of the Figure 15a distribution that the
+		// service also aggregates into resvc_sim_frame_eliminated_ratio.
+		s.tr.Counter("eliminated-ratio", "permille", int64(st.SkipFraction()*1000))
 		s.tr.End() // frame
 	}
 	s.frameIdx++

@@ -72,8 +72,9 @@ func (b *breaker) check(key string) (retryAfter time.Duration, open bool) {
 
 // onSuccess closes the key's circuit and resets its failure count. The
 // entry is created if absent so the resvc_breaker_open gauge reports every
-// benchmark the pool has executed, open or closed.
-func (b *breaker) onSuccess(key string) {
+// benchmark the pool has executed, open or closed. Reports whether this
+// call transitioned an open circuit closed (for the event journal).
+func (b *breaker) onSuccess(key string) (closed bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := b.keys[key]
@@ -81,12 +82,15 @@ func (b *breaker) onSuccess(key string) {
 		e = &breakerEntry{}
 		b.keys[key] = e
 	}
+	closed = !e.openedAt.IsZero()
 	*e = breakerEntry{}
+	return closed
 }
 
 // onFailure records a terminal non-transient failure, opening (or
 // re-opening, for a failed half-open trial) the circuit at threshold.
-func (b *breaker) onFailure(key string) {
+// Reports whether this call transitioned the circuit from closed to open.
+func (b *breaker) onFailure(key string) (opened bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	e := b.keys[key]
@@ -96,9 +100,11 @@ func (b *breaker) onFailure(key string) {
 	}
 	e.failures++
 	if e.halfOpen || e.failures >= b.threshold {
+		opened = e.openedAt.IsZero() || e.halfOpen
 		e.openedAt = time.Now()
 		e.halfOpen = false
 	}
+	return opened
 }
 
 // snapshot returns the open/closed state per key, for the metrics gauge.

@@ -26,6 +26,7 @@ import (
 	"rendelim/internal/energy"
 	"rendelim/internal/fault"
 	"rendelim/internal/gpusim"
+	"rendelim/internal/obs"
 	"rendelim/internal/rerr"
 	"rendelim/internal/trace"
 	"rendelim/internal/workload"
@@ -276,6 +277,11 @@ type Options struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration // default 30s
 
+	// Journal, when non-nil, receives notable job-lifecycle events
+	// (accepted, eliminated, shed, panicked, breaker transitions) for the
+	// /debug/events flight recorder. Nil costs nothing.
+	Journal *obs.Journal
+
 	// TileWorkers sets each simulation's raster-phase parallelism (see
 	// gpusim.Config.TileWorkers): 0 or 1 renders serially, n > 1 uses n
 	// goroutines per running job, negative uses one per host CPU. When
@@ -304,6 +310,7 @@ type Pool struct {
 	opts    Options
 	metrics *Metrics
 	log     *slog.Logger
+	journal *obs.Journal // nil-safe; see Options.Journal
 
 	queue  chan *Job
 	sendMu sync.RWMutex // Submit sends under RLock; Close closes queue under Lock
@@ -359,6 +366,7 @@ func New(opts Options) *Pool {
 		opts:       opts,
 		metrics:    newMetrics(),
 		log:        opts.Logger,
+		journal:    opts.Journal,
 		queue:      make(chan *Job, opts.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -446,6 +454,7 @@ func (p *Pool) submit(spec Spec, block bool) (*Job, error) {
 		p.metrics.Deduped.Add(1)
 		p.metrics.CacheHits.Add(1)
 		p.log.Debug("job eliminated", "id", j.ID, "key", key.String(), "via", "cache")
+		p.journal.Record("job.eliminated", "served from result cache", "id", j.ID, "key", key.String(), "via", "cache")
 		return j, nil
 	}
 
@@ -473,6 +482,7 @@ func (p *Pool) submit(spec Spec, block bool) (*Job, error) {
 		p.metrics.Deduped.Add(1)
 		p.metrics.Joins.Add(1)
 		p.log.Debug("job eliminated", "id", j.ID, "key", key.String(), "via", "inflight-join")
+		p.journal.Record("job.eliminated", "joined identical in-flight job", "id", j.ID, "key", key.String(), "via", "inflight-join")
 		return j, nil
 	}
 
@@ -514,11 +524,13 @@ func (p *Pool) submit(spec Spec, block bool) (*Job, error) {
 			cancel()
 			c.finish(gpusim.Result{}, ErrOverloaded)
 			p.log.Warn("job shed", "id", j.ID, "key", key.String(), "queue_depth", p.opts.QueueDepth)
+			p.journal.Record("job.shed", "queue full; submission rejected", "id", j.ID, "key", key.String())
 			return nil, ErrOverloaded
 		}
 	}
 	p.sendMu.RUnlock()
 	p.log.Debug("job queued", "id", j.ID, "key", key.String(), "alias", spec.Alias, "tech", spec.Tech.String())
+	p.journal.Record("job.accepted", "queued for execution", "id", j.ID, "key", key.String(), "alias", spec.Alias)
 	return j, nil
 }
 
@@ -605,8 +617,10 @@ func (p *Pool) handleWorkerPanic(j *Job, r any) {
 	p.metrics.Panics.Add(1)
 	p.log.Error("worker panicked; replaced", "err", err, "stack", string(debug.Stack()))
 	if j == nil {
+		p.journal.Record("job.panicked", "worker panicked between jobs; replaced")
 		return
 	}
+	p.journal.Record("job.panicked", "worker panicked; replaced", "id", j.ID, "key", j.Key.String())
 	if int(j.panics.Add(1)) <= p.opts.Retries && p.requeue(j) {
 		p.metrics.Retries.Add(1)
 		return
@@ -644,7 +658,9 @@ func (p *Pool) finishFailed(j *Job, err error) {
 	p.flight.forget(j.Key)
 	p.mu.Unlock()
 	if p.brk != nil && !IsTransient(err) && !errors.Is(err, context.Canceled) {
-		p.brk.onFailure(j.spec.breakerKey())
+		if p.brk.onFailure(j.spec.breakerKey()) {
+			p.journal.Record("breaker.open", "circuit opened after repeated failures", "benchmark", j.spec.breakerKey())
+		}
 	}
 	p.metrics.Failed.Add(1)
 	j.call.finish(gpusim.Result{}, err)
@@ -671,8 +687,8 @@ func (p *Pool) execute(j *Job) {
 	p.mu.Unlock()
 
 	if err == nil {
-		if p.brk != nil {
-			p.brk.onSuccess(j.spec.breakerKey())
+		if p.brk != nil && p.brk.onSuccess(j.spec.breakerKey()) {
+			p.journal.Record("breaker.close", "half-open trial succeeded; circuit closed", "benchmark", j.spec.breakerKey())
 		}
 		p.metrics.Completed.Add(1)
 		p.metrics.ObserveResult(res)
@@ -681,7 +697,9 @@ func (p *Pool) execute(j *Job) {
 			"duration", time.Since(start))
 	} else {
 		if p.brk != nil && !IsTransient(err) && !errors.Is(err, context.Canceled) {
-			p.brk.onFailure(j.spec.breakerKey())
+			if p.brk.onFailure(j.spec.breakerKey()) {
+				p.journal.Record("breaker.open", "circuit opened after repeated failures", "benchmark", j.spec.breakerKey())
+			}
 		}
 		p.metrics.Failed.Add(1)
 		p.log.Warn("job failed", "id", j.ID, "key", j.Key.String(),

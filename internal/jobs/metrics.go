@@ -21,6 +21,12 @@ const (
 // latencyBuckets are the histogram upper bounds in seconds.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
+// ratioBuckets bound a fraction in [0, 1] — the per-frame tile-elimination
+// distribution (Figure 15a, live). The tails are finer than the middle
+// because "nothing eliminated" and "almost everything eliminated" are the
+// interesting regimes.
+var ratioBuckets = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
+
 // Metrics aggregates pool counters for the /metrics endpoint. Counters are
 // atomics; histograms are mutex-guarded stats.Histograms.
 type Metrics struct {
@@ -49,6 +55,11 @@ type Metrics struct {
 	mu    sync.Mutex
 	hists map[string]*stats.Histogram
 
+	// frameElim distributes each completed frame's tile-elimination ratio —
+	// the paper's Figure 15a histogram, accumulated live across every job
+	// the node runs.
+	frameElim *stats.Histogram
+
 	// sim accumulates the simulator-side counters of every completed run:
 	// per-pipeline-stage cycles and the Figure 15a tile classification,
 	// exported through /metrics so the service surfaces the same per-stage
@@ -58,7 +69,10 @@ type Metrics struct {
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{hists: make(map[string]*stats.Histogram)}
+	return &Metrics{
+		hists:     make(map[string]*stats.Histogram),
+		frameElim: stats.NewHistogram(ratioBuckets...),
+	}
 }
 
 // ObserveStage records one stage latency in seconds.
@@ -74,12 +88,20 @@ func (m *Metrics) ObserveStage(stage string, seconds float64) {
 }
 
 // ObserveResult folds one completed run's simulator statistics into the
-// service-wide totals.
+// service-wide totals, including each frame's tile-elimination ratio into
+// the per-frame distribution.
 func (m *Metrics) ObserveResult(res gpusim.Result) {
 	m.simMu.Lock()
 	m.sim.Add(res.Total)
 	m.simMu.Unlock()
+	for _, f := range res.Frames {
+		m.frameElim.Observe(f.SkipFraction())
+	}
 }
+
+// FrameEliminationHist exposes the per-frame tile-elimination distribution
+// (for restat and tests).
+func (m *Metrics) FrameEliminationHist() *stats.Histogram { return m.frameElim }
 
 // SimTotals returns a snapshot of the accumulated simulator counters.
 func (m *Metrics) SimTotals() gpusim.Stats {
@@ -170,22 +192,33 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s{class=%q} %d\n", tcname, c.String(), sim.TileClasses[c])
 	}
 
+	// Per-frame tile-elimination ratio distribution (Figure 15a, live).
+	const fename = "resvc_sim_frame_eliminated_ratio"
+	fmt.Fprintf(w, "# HELP %s Per-frame fraction of tiles eliminated by RE across completed jobs.\n# TYPE %s histogram\n", fename, fename)
+	m.frameElim.WritePrometheus(w, fename, "")
+
 	m.mu.Lock()
 	names := make([]string, 0, len(m.hists))
 	for name := range m.hists {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	const hname = "resvc_stage_latency_seconds"
-	fmt.Fprintf(w, "# HELP %s Per-stage job latency.\n# TYPE %s histogram\n", hname, hname)
-	for _, name := range names {
-		h := m.hists[name]
-		for i, b := range h.Bounds() {
-			fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"%g\"} %d\n", hname, name, b, h.Cumulative(i))
-		}
-		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", hname, name, h.Count())
-		fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", hname, name, h.Sum())
-		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", hname, name, h.Count())
+	hists := make([]*stats.Histogram, len(names))
+	for i, name := range names {
+		hists[i] = m.hists[name]
 	}
 	m.mu.Unlock()
+	const hname = "resvc_stage_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-stage job latency (queue wait, trace build, simulation run).\n# TYPE %s histogram\n", hname, hname)
+	for i, name := range names {
+		hists[i].WritePrometheus(w, hname, fmt.Sprintf("stage=%q", name))
+	}
+}
+
+// StageHist returns the named per-stage latency histogram, or nil if that
+// stage has not been observed yet.
+func (m *Metrics) StageHist(stage string) *stats.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hists[stage]
 }

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestJournalRecordAndWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record("job.accepted", fmt.Sprintf("job %d", i), "job", fmt.Sprintf("j-%d", i))
+	}
+	if got := j.Len(); got != 4 {
+		t.Fatalf("Len = %d, want ring capacity 4", got)
+	}
+	if got := j.Seq(); got != 10 {
+		t.Fatalf("Seq = %d, want 10", got)
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	// Oldest first, and only the last four survive the wrap.
+	for i, ev := range evs {
+		wantSeq := uint64(7 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+	}
+	if evs[3].Attrs["job"] != "j-9" {
+		t.Errorf("newest event attrs = %v", evs[3].Attrs)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record("x", "y")
+	if j.Events() != nil || j.Len() != 0 || j.Seq() != 0 {
+		t.Error("nil journal not inert")
+	}
+}
+
+func TestJournalJSONShape(t *testing.T) {
+	j := NewJournal(8)
+	j.Record("peer.down", "peer stopped answering", "peer", "10.0.0.2:8080")
+	raw, err := json.Marshal(j.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0]["kind"] != "peer.down" {
+		t.Fatalf("journal JSON %s", raw)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Record("k", "m")
+				if i%32 == 0 {
+					_ = j.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Seq(); got != 4000 {
+		t.Fatalf("Seq = %d, want 4000", got)
+	}
+	if got := j.Len(); got != 64 {
+		t.Fatalf("Len = %d, want 64", got)
+	}
+}

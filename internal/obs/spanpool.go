@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SpanPool hands out Threads for request-scoped spans emitted from
+// concurrent goroutines. A Thread's span stack is single-goroutine, but HTTP
+// handlers and forwarded hops run concurrently, so each borrows a dedicated
+// thread (its own track in the viewer) and returns it when done; concurrent
+// spans land on distinct tracks instead of corrupting one stack. Tracks are
+// named "<prefix>-<n>" in creation order. A pool over a nil tracer hands out
+// nil Threads, keeping the disabled path free.
+type SpanPool struct {
+	tracer *Tracer
+	prefix string
+	mu     sync.Mutex
+	free   []*Thread
+	n      int
+}
+
+// NewSpanPool builds a pool whose tracks are named "<prefix>-<n>".
+func NewSpanPool(t *Tracer, prefix string) *SpanPool {
+	return &SpanPool{tracer: t, prefix: prefix}
+}
+
+// Get borrows a thread; pair with Put once the span is closed.
+func (p *SpanPool) Get() *Thread {
+	if p == nil || p.tracer == nil {
+		return nil // nil Thread: every method is a no-op
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		th := p.free[n-1]
+		p.free = p.free[:n-1]
+		return th
+	}
+	p.n++
+	return p.tracer.Thread(fmt.Sprintf("%s-%d", p.prefix, p.n))
+}
+
+// Put returns a borrowed thread to the pool.
+func (p *SpanPool) Put(th *Thread) {
+	if p == nil || th == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, th)
+	p.mu.Unlock()
+}

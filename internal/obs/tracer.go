@@ -19,18 +19,20 @@ import (
 // Thread method returns immediately on a nil receiver without allocating —
 // the zero-overhead-when-disabled guarantee BenchmarkTracerDisabled pins.
 type Tracer struct {
-	mu      sync.Mutex
-	start   time.Time
-	lastTS  int64
-	events  []rec
-	nextTID int
+	mu       sync.Mutex
+	start    time.Time
+	lastTS   int64
+	events   []rec
+	nextTID  int
+	pid      int    // Chrome trace pid stamped on every event; default 1
+	procName string // process_name metadata, when set
 }
 
 // rec is the compact in-memory form of one event; JSON shaping happens only
 // at serialization time.
 type rec struct {
 	name   string
-	ph     byte // 'B' span begin, 'E' span end, 'i' instant, 'C' counter, 'M' metadata
+	ph     byte  // 'B' span begin, 'E' span end, 'i' instant, 'C' counter, 'M' metadata
 	ts     int64 // nanoseconds since tracer start
 	tid    int
 	argKey string
@@ -40,7 +42,21 @@ type rec struct {
 
 // NewTracer starts a tracer; timestamps are relative to this call.
 func NewTracer() *Tracer {
-	return &Tracer{start: time.Now(), nextTID: 1}
+	return &Tracer{start: time.Now(), nextTID: 1, pid: 1}
+}
+
+// SetProcess tags every event with pid and names the process track. In a
+// cluster, each node picks a distinct pid (and its address as the name) so
+// traces from several nodes merge into one timeline with one labeled track
+// group per node. Call before emitting events; nil-safe.
+func (t *Tracer) SetProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pid = pid
+	t.procName = name
+	t.mu.Unlock()
 }
 
 // Thread registers a named track and returns its event emitter. Safe for
@@ -109,6 +125,15 @@ func (th *Thread) BeginArg(name, key string, v int64) {
 	th.t.emit(rec{name: name, ph: 'B', tid: th.tid, argKey: key, argInt: v})
 }
 
+// BeginArgStr opens a span carrying one string argument (a trace id, say).
+func (th *Thread) BeginArgStr(name, key, v string) {
+	if th == nil {
+		return
+	}
+	th.stack = append(th.stack, name)
+	th.t.emit(rec{name: name, ph: 'B', tid: th.tid, argKey: key, argStr: v})
+}
+
 // End closes the innermost open span. Unbalanced Ends are dropped rather
 // than corrupting the stream.
 func (th *Thread) End() {
@@ -168,9 +193,15 @@ func (t *Tracer) Events() []Event {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Event, 0, len(t.events))
+	out := make([]Event, 0, len(t.events)+1)
+	if t.procName != "" {
+		out = append(out, Event{
+			Name: "process_name", Ph: "M", PID: t.pid,
+			Args: map[string]any{"name": t.procName},
+		})
+	}
 	for _, r := range t.events {
-		e := Event{Name: r.name, Ph: string(r.ph), TS: float64(r.ts) / 1e3, PID: 1, TID: r.tid}
+		e := Event{Name: r.name, Ph: string(r.ph), TS: float64(r.ts) / 1e3, PID: t.pid, TID: r.tid}
 		if r.ph == 'i' {
 			e.Scope = "t"
 		}
@@ -193,6 +224,30 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(TraceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ns"})
+}
+
+// MergeTraces concatenates the event streams of several trace files into
+// one. With per-node pids (SetProcess) the merged file loads in Perfetto as
+// one timeline with a labeled track group per node, which is how a
+// cluster-crossing request is read end to end. Timestamps stay node-local:
+// each tracer's clock starts at its own NewTracer call, so cross-node spans
+// align only approximately — good enough to stitch a story, not to measure
+// clock skew.
+func MergeTraces(files ...TraceFile) TraceFile {
+	var merged TraceFile
+	for _, f := range files {
+		merged.TraceEvents = append(merged.TraceEvents, f.TraceEvents...)
+		if merged.DisplayTimeUnit == "" {
+			merged.DisplayTimeUnit = f.DisplayTimeUnit
+		}
+	}
+	return merged
+}
+
+// TraceFileOf renders the tracer's current stream as a TraceFile, for
+// merging or in-memory inspection without serializing.
+func (t *Tracer) TraceFileOf() TraceFile {
+	return TraceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ns"}
 }
 
 // WriteFile serializes the trace to path.

@@ -55,8 +55,8 @@ func TestTracerChromeJSON(t *testing.T) {
 	}
 
 	var (
-		lastTS  = -1.0
-		stack   []string
+		lastTS                          = -1.0
+		stack                           []string
 		sawMeta, sawInstant, sawCounter bool
 	)
 	for i, e := range tf.TraceEvents {

@@ -1,30 +1,57 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"rendelim/internal/cluster"
 	"rendelim/internal/gpusim"
 	"rendelim/internal/jobs"
+	"rendelim/internal/obs"
 	"rendelim/internal/workload"
 )
 
 // clusterNode is one in-process resvc node: its own pool, server, listener
-// and cluster view.
+// and cluster view, plus the node's telemetry plane (tracer, journal, and a
+// captured debug-level request log) so tests can follow a request across
+// the fleet.
 type clusterNode struct {
-	pool *jobs.Pool
-	srv  *Server
-	ts   *httptest.Server
-	clus *cluster.Cluster
-	addr string
+	pool    *jobs.Pool
+	srv     *Server
+	ts      *httptest.Server
+	clus    *cluster.Cluster
+	addr    string
+	tracer  *obs.Tracer
+	journal *obs.Journal
+	logs    *syncBuf
+}
+
+// syncBuf is a goroutine-safe log sink for per-node slog handlers.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // startCluster boots n fully-meshed nodes over real loopback listeners.
@@ -35,14 +62,31 @@ func startCluster(t *testing.T, n int, healthInterval, resultTTL time.Duration) 
 	t.Helper()
 	nodes := make([]*clusterNode, n)
 	for i := range nodes {
-		pool := jobs.New(jobs.Options{Workers: 2})
+		tracer := obs.NewTracer()
+		journal := obs.NewJournal(0)
+		logs := &syncBuf{}
+		pool := jobs.New(jobs.Options{
+			Workers: 2,
+			Journal: journal,
+			Logger:  slog.New(slog.NewTextHandler(logs, &slog.HandlerOptions{Level: slog.LevelDebug})),
+		})
 		srv := New(pool, Limits{})
+		srv.SetLogger(slog.New(slog.NewTextHandler(logs, &slog.HandlerOptions{Level: slog.LevelDebug})))
+		srv.SetTracer(tracer)
+		srv.SetJournal(journal)
 		ts := httptest.NewServer(srv.Handler())
+		addr := strings.TrimPrefix(ts.URL, "http://")
+		// Node-tagged pids make the merged Chrome trace render one labeled
+		// track group per node.
+		tracer.SetProcess(i+1, "resvc "+addr)
 		nodes[i] = &clusterNode{
-			pool: pool,
-			srv:  srv,
-			ts:   ts,
-			addr: strings.TrimPrefix(ts.URL, "http://"),
+			pool:    pool,
+			srv:     srv,
+			ts:      ts,
+			addr:    addr,
+			tracer:  tracer,
+			journal: journal,
+			logs:    logs,
 		}
 	}
 	for i, nd := range nodes {
@@ -59,6 +103,8 @@ func startCluster(t *testing.T, n int, healthInterval, resultTTL time.Duration) 
 			HealthTimeout:  time.Second,
 			ResultTTL:      resultTTL,
 			ForwardTimeout: 30 * time.Second,
+			Tracer:         nd.tracer,
+			Journal:        nd.journal,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -15,12 +15,15 @@ var seriesLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ 
 
 // parsePromText is a strict parser for the Prometheus text exposition
 // format: it verifies HELP/TYPE pairing, that every series belongs to a
-// declared family, and that no (name, labels) series repeats. It returns
-// the set of series keys seen.
-func parsePromText(t *testing.T, body string) map[string]bool {
+// declared family, and that every declared family carries at least one
+// series (an empty family usually means an emitter lost its data source).
+// It returns the set of series keys seen and each family's declared type.
+func parsePromText(t *testing.T, body string) (map[string]bool, map[string]string) {
 	t.Helper()
 	helped := map[string]bool{}
 	typed := map[string]bool{}
+	families := map[string]string{}
+	populated := map[string]bool{}
 	series := map[string]bool{}
 	sc := bufio.NewScanner(strings.NewReader(body))
 	line := 0
@@ -55,6 +58,7 @@ func parsePromText(t *testing.T, body string) map[string]bool {
 				t.Errorf("line %d: duplicate TYPE for %s", line, name)
 			}
 			typed[name] = true
+			families[name] = kind
 		case strings.HasPrefix(text, "#"):
 			t.Errorf("line %d: unexpected comment %q", line, text)
 		default:
@@ -74,6 +78,7 @@ func parsePromText(t *testing.T, body string) map[string]bool {
 			if !typed[family] {
 				t.Errorf("line %d: series %s has no TYPE declaration", line, name)
 			}
+			populated[family] = true
 			key := name + m[2]
 			if series[key] {
 				t.Errorf("line %d: duplicate series %s", line, key)
@@ -84,7 +89,12 @@ func parsePromText(t *testing.T, body string) map[string]bool {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	return series
+	for name := range typed {
+		if !populated[name] {
+			t.Errorf("family %s declared but carries no series", name)
+		}
+	}
+	return series, families
 }
 
 // TestMetricsWellFormed runs one job, scrapes /metrics, and asserts every
@@ -107,7 +117,25 @@ func TestMetricsWellFormed(t *testing.T) {
 		t.Errorf("content type %q", ct)
 	}
 	raw, _ := io.ReadAll(resp.Body)
-	series := parsePromText(t, string(raw))
+	series, families := parsePromText(t, string(raw))
+
+	// The telemetry-plane histograms must expose with the histogram type and
+	// full _bucket/_sum/_count series (including +Inf).
+	for _, name := range []string{
+		"resvc_http_request_duration_seconds",
+		"resvc_sim_frame_eliminated_ratio",
+		"resvc_stage_latency_seconds",
+	} {
+		if families[name] != "histogram" {
+			t.Errorf("family %s type = %q, want histogram", name, families[name])
+		}
+	}
+	if !series[`resvc_http_request_duration_seconds_bucket{route="/jobs",status="200",le="+Inf"}`] {
+		t.Error(`missing +Inf bucket for route="/jobs",status="200" (the completed ?wait=1 submit)`)
+	}
+	if !series[`resvc_sim_frame_eliminated_ratio_count`] || !series[`resvc_sim_frame_eliminated_ratio_sum`] {
+		t.Error("frame-elimination histogram missing _count/_sum series")
+	}
 
 	for _, stage := range []string{"vertex", "tiling", "sig-check", "raster", "fragment", "flush"} {
 		key := fmt.Sprintf(`resvc_sim_stage_cycles_total{stage="%s"}`, stage)

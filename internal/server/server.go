@@ -33,6 +33,7 @@ import (
 	"rendelim/internal/jobs"
 	"rendelim/internal/obs"
 	"rendelim/internal/rerr"
+	"rendelim/internal/stats"
 	"rendelim/internal/trace"
 	"rendelim/internal/workload"
 )
@@ -74,10 +75,33 @@ type Server struct {
 	// jobs cluster-wide. Set once at startup (SetCluster), read-only after.
 	cluster *cluster.Cluster
 
+	// tracer/spans emit one span per HTTP request into the Chrome trace;
+	// journal feeds the /debug/events flight recorder. All nil-safe, set
+	// once at startup (SetTracer / SetJournal), read-only after.
+	tracer  *obs.Tracer
+	spans   *obs.SpanPool
+	journal *obs.Journal
+
 	requests atomic.Uint64
 	draining atomic.Bool
 	fplan    atomic.Pointer[fault.Plan]
+
+	// httpHists distributes request latency per (route, status) — routes are
+	// normalized patterns ("/jobs/{id}"), never raw paths, so cardinality
+	// stays bounded.
+	httpMu    sync.Mutex
+	httpHists map[httpLabel]*stats.Histogram
 }
+
+// httpLabel keys one HTTP latency series.
+type httpLabel struct {
+	route  string
+	status int
+}
+
+// httpBuckets bound HTTP request latency in seconds: metrics scrapes sit in
+// the sub-millisecond buckets, a ?wait=1 submit can hold for a simulation.
+var httpBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
 // expvar names are process-global and may only be published once, but tests
 // spin up many Servers; the published Funcs read through this pointer to
@@ -119,7 +143,13 @@ func New(pool *jobs.Pool, limits Limits) *Server {
 	limits.setDefaults()
 	expvarPool.Store(pool)
 	publishExpvars()
-	return &Server{pool: pool, limits: limits, start: time.Now(), log: slog.Default()}
+	return &Server{
+		pool:      pool,
+		limits:    limits,
+		start:     time.Now(),
+		log:       slog.Default(),
+		httpHists: make(map[httpLabel]*stats.Histogram),
+	}
 }
 
 // SetLogger redirects the server's request log (default: slog.Default).
@@ -136,6 +166,19 @@ func (s *Server) SetCluster(c *cluster.Cluster) {
 	s.cluster = c
 	expvarCluster.Store(c)
 }
+
+// SetTracer emits one span per HTTP request into t's Chrome trace, tagged
+// with the request's trace id. Must be called before the server starts
+// handling requests; nil leaves tracing off.
+func (s *Server) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+	s.spans = obs.NewSpanPool(t, "http")
+}
+
+// SetJournal routes notable request events (forwarded, degraded) to j and
+// serves it at /debug/events. Must be called before the server starts
+// handling requests; nil leaves the journal off.
+func (s *Server) SetJournal(j *obs.Journal) { s.journal = j }
 
 // SetFaultPlan arms fault injection at the server.accept site (and nothing
 // else — the pool carries its own plan). Safe to call concurrently with
@@ -170,14 +213,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// Handler returns the service mux, including the /debug/pprof and
-// /debug/vars introspection endpoints.
+// Handler returns the service mux, including the /debug/pprof, /debug/vars
+// and /debug/events introspection endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJobByID)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/events", s.handleEvents)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -186,6 +230,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		// Trace context: honor an inbound W3C traceparent (a cluster hop, or
+		// a tracing-aware client) by continuing its trace with a fresh span;
+		// otherwise this request is a trace root.
+		tc, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		if err == nil && tc.Valid() {
+			tc = tc.Child()
+		} else {
+			tc = obs.NewTraceContext()
+		}
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), tc))
+		route := routeLabel(r.URL.Path)
+		var th *obs.Thread
+		if s.spans != nil {
+			if th = s.spans.Get(); th != nil {
+				th.BeginArgStr(r.Method+" "+route, "trace_id", tc.TraceIDString())
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		// Handler-level panic isolation: one failed request must never take
@@ -198,8 +259,14 @@ func (s *Server) Handler() http.Handler {
 					httpError(sw, http.StatusInternalServerError, "internal error")
 				}
 			}
+			s.observeHTTP(route, sw.status, time.Since(start).Seconds())
+			if th != nil {
+				th.End()
+				s.spans.Put(th)
+			}
 			s.log.Debug("http request", "method", r.Method, "path", r.URL.Path,
-				"status", sw.status, "duration", time.Since(start), "remote", r.RemoteAddr)
+				"status", sw.status, "duration", time.Since(start), "remote", r.RemoteAddr,
+				"trace_id", tc.TraceIDString(), "span_id", tc.SpanIDString())
 		}()
 		// Injected accept-path fault: Latency sleeps inside Check, Panic
 		// unwinds into the recover above, Transient/Corrupt shed the request.
@@ -210,6 +277,50 @@ func (s *Server) Handler() http.Handler {
 		}
 		mux.ServeHTTP(sw, r)
 	})
+}
+
+// routeLabel normalizes a request path to a bounded label set for the
+// latency histogram — raw paths (job ids, pprof profiles) would explode
+// series cardinality.
+func routeLabel(path string) string {
+	switch {
+	case path == "/jobs":
+		return "/jobs"
+	case strings.HasPrefix(path, "/jobs/"):
+		return "/jobs/{id}"
+	case path == "/healthz", path == "/metrics", path == "/debug/vars", path == "/debug/events":
+		return path
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// observeHTTP records one request latency into its (route, status) series.
+func (s *Server) observeHTTP(route string, status int, seconds float64) {
+	l := httpLabel{route: route, status: status}
+	s.httpMu.Lock()
+	h, ok := s.httpHists[l]
+	if !ok {
+		h = stats.NewHistogram(httpBuckets...)
+		s.httpHists[l] = h
+	}
+	s.httpMu.Unlock()
+	h.Observe(seconds)
+}
+
+// handleEvents serves the journal ring buffer — the node's flight recorder —
+// as a JSON array, oldest first. Always an array, even with no journal wired.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	evs := s.journal.Events()
+	if evs == nil {
+		evs = []obs.JournalEvent{}
+	}
+	writeJSON(w, http.StatusOK, evs)
 }
 
 // SubmitRequest is the JSON body of POST /jobs for workload-spec jobs.
@@ -233,7 +344,8 @@ type JobResponse struct {
 	Result   *jobs.ResultSummary `json:"result,omitempty"`
 	Detail   string              `json:"detail,omitempty"`
 	Location string              `json:"location,omitempty"`
-	Node     string              `json:"node,omitempty"` // owning cluster node, when forwarded
+	Node     string              `json:"node,omitempty"`  // owning cluster node, when forwarded
+	Trace    string              `json:"trace,omitempty"` // trace id of the request that produced this response
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -290,7 +402,7 @@ func (s *Server) submitLocal(w http.ResponseWriter, r *http.Request, spec jobs.S
 		defer cancel()
 		job.Wait(ctx)
 	}
-	resp := s.jobResponse(job)
+	resp := s.jobResponse(job, traceIDFrom(r.Context()))
 	if resp.State == "done" || resp.State == "failed" {
 		status = http.StatusOK
 	}
@@ -384,21 +496,23 @@ func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, owner str
 	// Read-through: a completed result this node recently fetched for the
 	// same signature is served locally — elimination without even a hop.
 	if rep := s.cluster.CachedResult(key); rep != nil {
-		s.relayReply(w, rep, key, relayReadThrough)
+		s.relayReply(w, r, rep, key, relayReadThrough)
 		return true
 	}
-	rep, err := s.cluster.ForwardSubmit(r.Context(), owner, body, contentType, r.URL.Query())
+	rep, err := s.cluster.ForwardSubmit(r.Context(), owner, key, body, contentType, r.URL.Query())
 	if err != nil {
 		if errors.Is(err, cluster.ErrPeerUnavailable) {
 			s.cluster.Metrics().Degraded.Add(1)
 			s.log.Warn("owner unreachable; degrading to local simulation",
 				"owner", owner, "key", key.String(), "err", err)
+			s.journal.Record("job.degraded", "owner unreachable; simulating locally", "owner", owner, "key", key.String())
 			return false
 		}
 		httpError(w, statusForError(err), err.Error())
 		return true
 	}
-	s.relayReply(w, rep, key, relayForwarded)
+	s.journal.Record("job.forwarded", "submission proxied to ring owner", "owner", owner, "key", key.String())
+	s.relayReply(w, r, rep, key, relayForwarded)
 	return true
 }
 
@@ -414,7 +528,7 @@ const (
 
 // relayReply writes a forwarded (or read-through-cached) owner reply to the
 // client, rewriting the routing fields so follow-up GETs reach the owner.
-func (s *Server) relayReply(w http.ResponseWriter, rep *cluster.Reply, key jobs.Key, mode relayMode) {
+func (s *Server) relayReply(w http.ResponseWriter, r *http.Request, rep *cluster.Reply, key jobs.Key, mode relayMode) {
 	if rep.RetryAfter != "" {
 		w.Header().Set("Retry-After", rep.RetryAfter)
 	}
@@ -433,6 +547,10 @@ func (s *Server) relayReply(w http.ResponseWriter, rep *cluster.Reply, key jobs.
 	}
 	resp.Node = rep.Owner
 	resp.Location = "/jobs/" + resp.ID + "?peer=" + url.QueryEscape(rep.Owner)
+	// The reply's trace id is the *owner's view* of the hop that produced it
+	// (a read-through hit may carry a long-finished trace). Overwrite with
+	// this request's trace id so clients always correlate to their own call.
+	resp.Trace = traceIDFrom(r.Context())
 	switch mode {
 	case relayReadThrough:
 		// A read-through hit is an elimination from the submitter's point
@@ -481,7 +599,7 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 				httpError(w, status, err.Error())
 				return
 			}
-			s.relayReply(w, rep, jobs.Key{}, relayStatus)
+			s.relayReply(w, r, rep, jobs.Key{}, relayStatus)
 			return
 		}
 	}
@@ -495,15 +613,25 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		job.Wait(ctx)
 	}
-	writeJSON(w, http.StatusOK, s.jobResponse(job))
+	writeJSON(w, http.StatusOK, s.jobResponse(job, traceIDFrom(r.Context())))
 }
 
-func (s *Server) jobResponse(j *jobs.Job) JobResponse {
+// traceIDFrom extracts the request's trace id for response payloads and
+// journal entries; empty when the request is untraced.
+func traceIDFrom(ctx context.Context) string {
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		return tc.TraceIDString()
+	}
+	return ""
+}
+
+func (s *Server) jobResponse(j *jobs.Job, traceID string) JobResponse {
 	resp := JobResponse{
 		ID:      j.ID,
 		Key:     j.Key.String(),
 		State:   j.State().String(),
 		Deduped: j.Deduped,
+		Trace:   traceID,
 	}
 	if res, err, ok := j.Result(); ok {
 		if err != nil {
@@ -538,6 +666,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.cluster.WritePrometheus(w)
 	}
 	fmt.Fprintf(w, "# HELP resvc_http_requests_total HTTP requests served.\n# TYPE resvc_http_requests_total counter\nresvc_http_requests_total %d\n", s.requests.Load())
+	// Per-route/status request latency. Label sets are copied under the lock,
+	// then rendered outside it (WritePrometheus locks each histogram itself).
+	const rdname = "resvc_http_request_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s HTTP request latency by normalized route and status code.\n# TYPE %s histogram\n", rdname, rdname)
+	s.httpMu.Lock()
+	labels := make([]httpLabel, 0, len(s.httpHists))
+	for l := range s.httpHists {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if labels[i].route != labels[j].route {
+			return labels[i].route < labels[j].route
+		}
+		return labels[i].status < labels[j].status
+	})
+	hists := make([]*stats.Histogram, len(labels))
+	for i, l := range labels {
+		hists[i] = s.httpHists[l]
+	}
+	s.httpMu.Unlock()
+	for i, l := range labels {
+		hists[i].WritePrometheus(w, rdname, fmt.Sprintf("route=%q,status=\"%d\"", l.route, l.status))
+	}
 	fmt.Fprintf(w, "# HELP resvc_result_cache_entries Cached simulation results.\n# TYPE resvc_result_cache_entries gauge\nresvc_result_cache_entries %d\n", s.pool.CacheLen())
 	// Per-benchmark breaker gauge: emitted here (not in jobs.Metrics)
 	// because the breaker state lives on the pool, not the counters.
