@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// compareReports is the perf gate: it loads two rebench reports, matches
+// their runs by (alias, tech), and fails when the new report regresses
+// beyond tolerance. Two budgets are enforced per matched run:
+//
+//   - throughput: new frames/sec must stay above old * (1 - maxRegress);
+//   - allocator discipline: new allocs/frame must stay below
+//     old * (1 + maxRegress) + allocSlack. The additive slack keeps the
+//     gate meaningful when old is near zero (the goal state), where a
+//     purely multiplicative bound would reject runtime noise.
+//
+// Runs present on only one side are reported but never fail the gate, so
+// the benchmark matrix can grow without invalidating the trajectory.
+func compareReports(stdout *os.File, oldPath, newPath string, maxRegress float64) error {
+	// Host-noise floor for the allocator bound: goroutine bookkeeping,
+	// timer wheels and GC metadata move a handful of objects per frame
+	// between otherwise identical runs.
+	const allocSlack = 64.0
+
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	type key struct{ alias, tech string }
+	oldRuns := make(map[key]Run, len(oldRep.Runs))
+	for _, r := range oldRep.Runs {
+		oldRuns[key{r.Alias, r.Tech}] = r
+	}
+
+	failures := 0
+	matched := 0
+	for _, nr := range newRep.Runs {
+		or, ok := oldRuns[key{nr.Alias, nr.Tech}]
+		if !ok {
+			fmt.Fprintf(stdout, "NEW   %-4s %-5s %8.1f frames/s (no baseline run)\n", nr.Alias, nr.Tech, nr.FramesPerSec)
+			continue
+		}
+		matched++
+		delete(oldRuns, key{nr.Alias, nr.Tech})
+
+		fpsFloor := or.FramesPerSec * (1 - maxRegress)
+		fpsOK := nr.FramesPerSec >= fpsFloor
+		// Reports from before the allocator columns existed carry zeros;
+		// a zero baseline with a nonzero measurement would always "fail",
+		// so the alloc bound only applies once the baseline records it.
+		allocCeil := or.AllocsPerFrame*(1+maxRegress) + allocSlack
+		allocOK := or.AllocsPerFrame == 0 || nr.AllocsPerFrame <= allocCeil
+
+		verdict := "ok   "
+		if !fpsOK || !allocOK {
+			verdict = "FAIL "
+			failures++
+		}
+		fmt.Fprintf(stdout, "%s %-4s %-5s  fps %8.1f -> %8.1f (floor %8.1f)  allocs/frame %9.1f -> %9.1f",
+			verdict, nr.Alias, nr.Tech, or.FramesPerSec, nr.FramesPerSec, fpsFloor, or.AllocsPerFrame, nr.AllocsPerFrame)
+		if or.AllocsPerFrame > 0 {
+			fmt.Fprintf(stdout, " (ceil %9.1f)", allocCeil)
+		}
+		fmt.Fprintln(stdout)
+	}
+	for k := range oldRuns {
+		fmt.Fprintf(stdout, "GONE  %-4s %-5s (in baseline only)\n", k.alias, k.tech)
+	}
+
+	if matched == 0 {
+		return fmt.Errorf("no runs in common between %s and %s", oldPath, newPath)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d matched runs regressed beyond %.0f%%", failures, matched, maxRegress*100)
+	}
+	fmt.Fprintf(stdout, "compare: %d matched runs within tolerance (-max-regress %.2f)\n", matched, maxRegress)
+	return nil
+}
+
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != "rebench/1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, rep.Schema)
+	}
+	return &rep, nil
+}

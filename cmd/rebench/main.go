@@ -9,6 +9,13 @@
 //	rebench [-out results] [-benchmarks ccs,mst] [-techs base,re]
 //	        [-width 480] [-height 272] [-frames 50] [-seed 1]
 //	        [-workers 0] [-tile-workers 0] [-smoke]
+//	rebench -compare [-max-regress 0.10] old.json new.json
+//
+// The second form is the regression gate: it diffs two reports run for run
+// and fails (exit 1) when new frames/sec drops more than -max-regress below
+// old, or when the allocator discipline regresses — allocations per frame
+// are recorded in every report precisely so the zero-allocation hot path
+// stays enforced by CI, not by folklore.
 //
 // Every unique job is submitted twice: the second pass is eliminated by the
 // pool's signature cache, so the report also demonstrates (and records) the
@@ -90,6 +97,14 @@ type Run struct {
 	Frames       int     `json:"frames"`
 	FramesPerSec float64 `json:"frames_per_sec"` // host throughput, not simulated FPS
 
+	// Host allocator behaviour across the run, from runtime.MemStats
+	// deltas (the measurement pass is serialized, so the deltas belong to
+	// this run). The steady-state budget is asserted exactly by the
+	// testing.AllocsPerRun tests in internal/gpusim; these trajectory
+	// numbers exist so -compare can flag a drift between two commits.
+	AllocsPerFrame     float64 `json:"allocs_per_frame"`
+	AllocBytesPerFrame float64 `json:"alloc_bytes_per_frame"`
+
 	Cycles           uint64            `json:"cycles"`
 	TilesTotal       uint64            `json:"tiles_total"`
 	TilesSkipped     uint64            `json:"tiles_skipped"`
@@ -130,8 +145,16 @@ func run(args []string, stdout *os.File) error {
 	workers := fs.Int("workers", 0, "pool workers (0 = host CPUs / tile-workers)")
 	tileWorkers := fs.Int("tile-workers", 0, "raster goroutines per simulation")
 	smoke := fs.Bool("smoke", false, "seconds-long CI mode: 4 frames, 96x64, ccs+mst")
+	compare := fs.Bool("compare", false, "compare two reports (old.json new.json) and fail on regression")
+	maxRegress := fs.Float64("max-regress", 0.10, "with -compare: tolerated fractional drop in frames/sec (and rise in allocs/frame)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two report paths, got %d", fs.NArg())
+		}
+		return compareReports(stdout, fs.Arg(0), fs.Arg(1), *maxRegress)
 	}
 
 	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Seed: *seed}
@@ -159,7 +182,7 @@ func run(args []string, stdout *os.File) error {
 		}
 	}
 
-	pool := jobs.New(jobs.Options{Workers: *workers, TileWorkers: *tileWorkers})
+	pool := jobs.NewPool(jobs.WithWorkers(*workers), jobs.WithTileWorkers(*tileWorkers))
 	defer pool.Close(context.Background())
 
 	report := Report{
@@ -182,6 +205,8 @@ func run(args []string, stdout *os.File) error {
 	for _, alias := range aliases {
 		for _, tech := range techniques {
 			spec := jobs.Spec{Alias: alias, Params: p, Tech: tech}
+			var msBefore runtime.MemStats
+			runtime.ReadMemStats(&msBefore)
 			start := time.Now()
 			job, err := pool.Submit(spec)
 			if err != nil {
@@ -192,25 +217,29 @@ func run(args []string, stdout *os.File) error {
 				return fmt.Errorf("%s/%s: %w", alias, tech, err)
 			}
 			wall := time.Since(start).Seconds()
+			var msAfter runtime.MemStats
+			runtime.ReadMemStats(&msAfter)
 			stage := make(map[string]uint64, int(gpusim.NumPipeStages))
 			for st := gpusim.PipeStage(0); st < gpusim.NumPipeStages; st++ {
 				stage[st.String()] = res.Total.StageCycles[st]
 			}
 			eb := energy.Default().Compute(res.Total.Activity)
 			report.Runs = append(report.Runs, Run{
-				Alias:            alias,
-				Tech:             tech.String(),
-				WallSeconds:      wall,
-				Frames:           len(res.Frames),
-				FramesPerSec:     ratio(float64(len(res.Frames)), wall),
-				Cycles:           res.Total.TotalCycles(),
-				TilesTotal:       res.Total.TilesTotal,
-				TilesSkipped:     res.Total.TilesSkipped,
-				TileSkipFraction: res.Total.SkipFraction(),
-				StageCycles:      stage,
-				FragsShaded:      res.Total.FragsShaded,
-				DRAMBytes:        res.Total.TotalTraffic(),
-				EnergyMJ:         eb.Total() * 1e3,
+				Alias:              alias,
+				Tech:               tech.String(),
+				WallSeconds:        wall,
+				Frames:             len(res.Frames),
+				FramesPerSec:       ratio(float64(len(res.Frames)), wall),
+				AllocsPerFrame:     ratio(float64(msAfter.Mallocs-msBefore.Mallocs), float64(len(res.Frames))),
+				AllocBytesPerFrame: ratio(float64(msAfter.TotalAlloc-msBefore.TotalAlloc), float64(len(res.Frames))),
+				Cycles:             res.Total.TotalCycles(),
+				TilesTotal:         res.Total.TilesTotal,
+				TilesSkipped:       res.Total.TilesSkipped,
+				TileSkipFraction:   res.Total.SkipFraction(),
+				StageCycles:        stage,
+				FragsShaded:        res.Total.FragsShaded,
+				DRAMBytes:          res.Total.TotalTraffic(),
+				EnergyMJ:           eb.Total() * 1e3,
 			})
 			fmt.Fprintf(stdout, "%-4s %-5s %8.3fs %8.1f frames/s  skip %.3f\n",
 				alias, tech, wall, ratio(float64(len(res.Frames)), wall), res.Total.SkipFraction())

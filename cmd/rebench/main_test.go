@@ -86,3 +86,76 @@ func TestBadInputs(t *testing.T) {
 		t.Error("unknown technique accepted")
 	}
 }
+
+// writeReport drops a minimal rebench/1 report with the given runs.
+func writeReport(t *testing.T, dir, name string, runs []Run) string {
+	t.Helper()
+	rep := Report{Schema: "rebench/1", Runs: runs}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareGate: the -compare mode passes runs within tolerance and fails
+// throughput or allocator regressions beyond it.
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := []Run{
+		{Alias: "ccs", Tech: "re", FramesPerSec: 100, AllocsPerFrame: 50},
+		{Alias: "mst", Tech: "base", FramesPerSec: 80, AllocsPerFrame: 40},
+	}
+	old := writeReport(t, dir, "old.json", base)
+
+	// Within tolerance: 5% slower, allocs flat.
+	ok := writeReport(t, dir, "ok.json", []Run{
+		{Alias: "ccs", Tech: "re", FramesPerSec: 95, AllocsPerFrame: 50},
+		{Alias: "mst", Tech: "base", FramesPerSec: 80, AllocsPerFrame: 45},
+	})
+	if err := run([]string{"-compare", old, ok}, os.Stdout); err != nil {
+		t.Errorf("within-tolerance compare failed: %v", err)
+	}
+
+	// Throughput regression beyond 10%.
+	slow := writeReport(t, dir, "slow.json", []Run{
+		{Alias: "ccs", Tech: "re", FramesPerSec: 85, AllocsPerFrame: 50},
+		{Alias: "mst", Tech: "base", FramesPerSec: 80, AllocsPerFrame: 40},
+	})
+	if err := run([]string{"-compare", old, slow}, os.Stdout); err == nil {
+		t.Error("15% throughput regression passed the gate")
+	}
+
+	// Allocator regression: far beyond the multiplicative + slack bound.
+	leaky := writeReport(t, dir, "leaky.json", []Run{
+		{Alias: "ccs", Tech: "re", FramesPerSec: 100, AllocsPerFrame: 5000},
+		{Alias: "mst", Tech: "base", FramesPerSec: 80, AllocsPerFrame: 40},
+	})
+	if err := run([]string{"-compare", old, leaky}, os.Stdout); err == nil {
+		t.Error("100x allocs/frame regression passed the gate")
+	}
+
+	// A zero-alloc baseline (pre-column report) never arms the alloc bound.
+	legacyOld := writeReport(t, dir, "legacy.json", []Run{
+		{Alias: "ccs", Tech: "re", FramesPerSec: 100},
+	})
+	if err := run([]string{"-compare", legacyOld, leaky}, os.Stdout); err != nil {
+		t.Errorf("legacy baseline armed the alloc bound: %v", err)
+	}
+
+	// Disjoint matrices are an error, not a silent pass.
+	other := writeReport(t, dir, "other.json", []Run{
+		{Alias: "cde", Tech: "te", FramesPerSec: 10},
+	})
+	if err := run([]string{"-compare", old, other}, os.Stdout); err == nil {
+		t.Error("disjoint reports compared clean")
+	}
+	// Wrong arity fails cleanly.
+	if err := run([]string{"-compare", old}, os.Stdout); err == nil {
+		t.Error("-compare with one path accepted")
+	}
+}

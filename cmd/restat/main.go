@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"rendelim/internal/apihttp"
 	"rendelim/internal/cluster"
 	"rendelim/internal/promtext"
 )
@@ -33,6 +34,11 @@ type NodeStat struct {
 	Node  string `json:"node"`
 	Up    bool   `json:"up"`
 	Error string `json:"error,omitempty"`
+
+	// Health is the node's own /v1/healthz self-report (status, workers,
+	// uptime) — the typed apihttp view, where everything below is scraped
+	// from the Prometheus text surface.
+	Health *apihttp.HealthResponse `json:"health,omitempty"`
 
 	QueueDepth   int64   `json:"queue_depth"`
 	Running      int64   `json:"running"`
@@ -168,6 +174,13 @@ func scrapeNode(client *http.Client, node string) NodeStat {
 		return ns
 	}
 	ns.Up = true
+	// The healthz self-report shares its wire type with the server
+	// (apihttp.HealthResponse), so a field added there shows up here with
+	// no decoding glue. A draining node still counts as up — it is
+	// answering — but the status column says so.
+	if h, err := fetchHealth(client, node); err == nil {
+		ns.Health = h
+	}
 	gi := func(name string) int64 { v, _ := m.Value(name, nil); return int64(v) }
 	gu := func(name string) uint64 { v, _ := m.Value(name, nil); return uint64(v) }
 	ns.QueueDepth = gi("resvc_queue_depth")
@@ -200,15 +213,29 @@ func scrapeNode(client *http.Client, node string) NodeStat {
 }
 
 func fetchMetrics(client *http.Client, node string) (*promtext.Metrics, error) {
-	resp, err := client.Get("http://" + node + "/metrics")
+	resp, err := client.Get("http://" + node + apihttp.PathMetrics)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s /metrics: %s", node, resp.Status)
+		return nil, fmt.Errorf("%s %s: %s", node, apihttp.PathMetrics, resp.Status)
 	}
 	return promtext.Parse(resp.Body)
+}
+
+func fetchHealth(client *http.Client, node string) (*apihttp.HealthResponse, error) {
+	resp, err := client.Get("http://" + node + apihttp.PathHealthz)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// A draining node answers 503 with a valid body; decode either way.
+	var h apihttp.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("%s %s: %v", node, apihttp.PathHealthz, err)
+	}
+	return &h, nil
 }
 
 func fetchVars(client *http.Client, node string) (map[string]any, error) {

@@ -29,7 +29,7 @@ func startNodes(t *testing.T, n int) []string {
 	nodes := make([]*node, n)
 	servers := make([]*server.Server, n)
 	for i := range nodes {
-		pool := jobs.New(jobs.Options{Workers: 2})
+		pool := jobs.NewPool(jobs.WithWorkers(2))
 		srv := server.New(pool, server.Limits{})
 		ts := httptest.NewServer(srv.Handler())
 		nodes[i] = &node{pool: pool, ts: ts, addr: strings.TrimPrefix(ts.URL, "http://")}

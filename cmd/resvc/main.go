@@ -153,19 +153,18 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		return fmt.Errorf("-cluster-addr without any -peer flags; nothing to cluster with")
 	}
 
-	pool := jobs.New(jobs.Options{
-		Workers:            *workers,
-		CacheSize:          *cacheSize,
-		Timeout:            *timeout,
-		Retries:            *retries,
-		Logger:             log,
-		TileWorkers:        *tileWorkers,
-		CheckpointInterval: *ckptInterval,
-		BreakerThreshold:   *brkThreshold,
-		BreakerCooldown:    *brkCooldown,
-		Fault:              plan,
-		Journal:            journal,
-	})
+	pool := jobs.NewPool(
+		jobs.WithWorkers(*workers),
+		jobs.WithCacheSize(*cacheSize),
+		jobs.WithTimeout(*timeout),
+		jobs.WithRetries(*retries),
+		jobs.WithLogger(log),
+		jobs.WithTileWorkers(*tileWorkers),
+		jobs.WithCheckpointInterval(*ckptInterval),
+		jobs.WithBreaker(*brkThreshold, *brkCooldown),
+		jobs.WithFault(plan),
+		jobs.WithJournal(journal),
+	)
 	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
 	srv.SetLogger(log)
 	srv.SetFaultPlan(plan)

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"rendelim/internal/apihttp"
 	"rendelim/internal/jobs"
 	"rendelim/internal/obs"
 )
@@ -58,7 +59,7 @@ type Reply struct {
 // and the forwarded-hop trace span.
 func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, key jobs.Key, body []byte, contentType string, query url.Values) (*Reply, error) {
 	c.metrics.Forwarded.Add(1)
-	u := "http://" + owner + "/jobs"
+	u := "http://" + owner + apihttp.PathJobs
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
@@ -72,10 +73,10 @@ func (c *Cluster) ForwardSubmit(ctx context.Context, owner string, key jobs.Key,
 	return c.roundTrip(ctx, req, owner, "key "+key.String(), "cluster.forward")
 }
 
-// ForwardStatus proxies one GET /jobs/{id} to the owner; query relays ?wait.
+// ForwardStatus proxies one GET /v1/jobs/{id} to the owner; query relays ?wait.
 func (c *Cluster) ForwardStatus(ctx context.Context, owner, id string, query url.Values) (*Reply, error) {
 	c.metrics.StatusForwarded.Add(1)
-	u := "http://" + owner + "/jobs/" + url.PathEscape(id)
+	u := "http://" + owner + apihttp.PathJobs + "/" + url.PathEscape(id)
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}

@@ -46,7 +46,7 @@ func NewRunnerWorkers(p workload.Params, workers int) *Runner {
 func NewRunnerTileWorkers(p workload.Params, workers, tileWorkers int) *Runner {
 	// Every (benchmark, technique, variant) of a full reproduction must stay
 	// cached, so size the LRU far above the ~200 runs reexp performs.
-	pool := jobs.New(jobs.Options{Workers: workers, CacheSize: 4096, TileWorkers: tileWorkers})
+	pool := jobs.NewPool(jobs.WithWorkers(workers), jobs.WithCacheSize(4096), jobs.WithTileWorkers(tileWorkers))
 	return NewRunnerPool(p, pool)
 }
 

@@ -1,0 +1,67 @@
+package gpusim
+
+import (
+	"rendelim/internal/rast"
+)
+
+// frameArena owns every piece of per-frame scratch the simulator reuses
+// across frames: the geometry phase's draw/triangle lists and signing
+// buffers, the raster phase's per-tile result entries, and the frame's
+// Stats accumulator. It exists so the frame hot path performs no steady-
+// state allocations — each slice keeps its capacity across frames and only
+// ever grows (amortized, workload-bounded), and the Stats value lives here
+// rather than on RunFrame's stack so taking its address never forces a
+// per-frame heap escape.
+//
+// Ownership rules (see DESIGN.md "Memory discipline"):
+//
+//   - The arena belongs to the Simulator and is reset — never reallocated —
+//     at the top of RunFrame via beginFrame.
+//   - Everything in it is dead outside the frame that filled it. RunFrame
+//     returns Stats by value; nothing else escapes.
+//   - tileRes entries are handed to raster workers one tile each; a worker
+//     touches only its own entry, so the arena needs no locking.
+type frameArena struct {
+	// stats accumulates the frame's statistics; RunFrame returns a copy.
+	stats Stats
+
+	// Raster phase: one reusable entry per tile; access logs keep capacity.
+	tileRes []tileResult
+
+	// Geometry phase scratch.
+	draws         []drawRec
+	tris          []triRec
+	pendingConsts []byte
+	primScratch   []byte
+	clipScratch   []rast.Triangle
+	shadedScratch []rast.Vertex
+
+	// crcBuf is the byte-serialization scratch for FrameBufferCRC.
+	crcBuf []byte
+}
+
+// beginFrame resets the arena for a new frame, keeping all capacity.
+func (a *frameArena) beginFrame() {
+	a.stats = Stats{Frames: 1}
+	a.draws = a.draws[:0]
+	a.tris = a.tris[:0]
+	a.pendingConsts = a.pendingConsts[:0]
+}
+
+// tiles returns the per-tile result entries for an n-tile frame, growing the
+// backing array only when the tile count does (i.e. never, for a fixed
+// framebuffer). Entries are reset individually by decideTile.
+func (a *frameArena) tiles(n int) []tileResult {
+	if cap(a.tileRes) < n {
+		a.tileRes = make([]tileResult, n)
+	}
+	return a.tileRes[:n]
+}
+
+// shaded returns vertex-shading scratch for nv vertices.
+func (a *frameArena) shaded(nv int) []rast.Vertex {
+	if cap(a.shadedScratch) < nv {
+		a.shadedScratch = make([]rast.Vertex, nv)
+	}
+	return a.shadedScratch[:nv]
+}

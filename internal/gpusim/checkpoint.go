@@ -9,7 +9,6 @@ import (
 	"rendelim/internal/crc"
 	"rendelim/internal/dram"
 	"rendelim/internal/fb"
-	"rendelim/internal/geom"
 	"rendelim/internal/shader"
 	"rendelim/internal/sig"
 	"rendelim/internal/texture"
@@ -49,11 +48,11 @@ type Checkpoint struct {
 	teBuf    sig.BufferSnapshot
 	teCRC    crc.UnitStats
 
-	// memoPrev shares map values with the live simulator: committed
-	// per-tile maps are immutable after commit (renderTile builds a fresh
-	// map each frame and commitTile replaces, never mutates, the previous
-	// one), so copying the slice of map pointers is safe and cheap.
-	memoPrev    []map[uint32]geom.Vec4
+	// memoPrev is a compact deep copy of the per-tile memoization
+	// baselines. The live tables are pooled and mutated again on later
+	// frames (memoState swaps their roles), so the checkpoint extracts the
+	// entries rather than sharing the tables.
+	memoPrev    [][]memoEntry
 	memoLookups uint64
 	memoHits    uint64
 
@@ -93,7 +92,7 @@ func (s *Simulator) Checkpoint() *Checkpoint {
 		teBuf: s.teBuf.Snapshot(),
 		teCRC: s.teCRC.Stats,
 
-		memoPrev:    append([]map[uint32]geom.Vec4(nil), s.memo.prev...),
+		memoPrev:    s.memo.snapshotPrev(),
 		memoLookups: s.memo.Lookups,
 		memoHits:    s.memo.Hits,
 
@@ -132,7 +131,7 @@ func (s *Simulator) Resume(cp *Checkpoint) error {
 	s.teBuf.Restore(cp.teBuf)
 	s.teCRC.Stats = cp.teCRC
 
-	copy(s.memo.prev, cp.memoPrev)
+	s.memo.restorePrev(cp.memoPrev)
 	s.memo.Lookups = cp.memoLookups
 	s.memo.Hits = cp.memoHits
 

@@ -23,50 +23,218 @@ import (
 // first-of-pair frames cannot reuse across frames because their candidates
 // were evicted a whole frame ago (the PFR limitation Section I describes).
 
+// memoTable is one tile's pooled hash→color table: open addressing with
+// linear probing and epoch-tagged slots, so the per-frame reset is a counter
+// bump instead of a clear or a fresh allocation. A slot is live iff its
+// epoch tag equals the table's current epoch; stale slots (from earlier
+// frames) terminate probes exactly like empty ones. Tables are never
+// iterated by the model, only probed by key, so they are drop-in
+// replacements for the maps they pool — and once a table has grown to its
+// steady-state size the Memo render path allocates nothing per tile.
+type memoTable struct {
+	epoch  uint32
+	n      int // live entries in the current epoch
+	epochs []uint32
+	keys   []uint32
+	vals   []geom.Vec4
+}
+
+// memoTableMinSlots is the initial table size (power of two, ≥ the old
+// maps' 64-entry size hint at the 3/4 load factor).
+const memoTableMinSlots = 128
+
+// reset opens a new epoch, logically emptying the table in O(1).
+func (t *memoTable) reset() {
+	t.n = 0
+	t.epoch++
+	if t.epoch == 0 { // wrapped: stale tags could alias the new epoch
+		for i := range t.epochs {
+			t.epochs[i] = 0
+		}
+		t.epoch = 1
+	}
+}
+
+// lookup probes for h among the current epoch's entries.
+func (t *memoTable) lookup(h uint32) (geom.Vec4, bool) {
+	if len(t.keys) == 0 {
+		return geom.Vec4{}, false
+	}
+	mask := uint32(len(t.keys) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		if t.epochs[i] != t.epoch {
+			return geom.Vec4{}, false
+		}
+		if t.keys[i] == h {
+			return t.vals[i], true
+		}
+	}
+}
+
+// insert stores h→v. h must be absent (callers always look up first), so no
+// overwrite path exists.
+func (t *memoTable) insert(h uint32, v geom.Vec4) {
+	if t.n*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint32(len(t.keys) - 1)
+	i := h & mask
+	for t.epochs[i] == t.epoch {
+		i = (i + 1) & mask
+	}
+	t.epochs[i] = t.epoch
+	t.keys[i] = h
+	t.vals[i] = v
+	t.n++
+}
+
+// grow doubles the table and rehashes the live entries. Growth stops once
+// the tile's working set fits (bounded by the LUT capacity), after which
+// frames are allocation-free.
+func (t *memoTable) grow() {
+	size := memoTableMinSlots
+	if len(t.keys) > 0 {
+		size = len(t.keys) * 2
+	}
+	oldEpoch, oldEpochs, oldKeys, oldVals := t.epoch, t.epochs, t.keys, t.vals
+	t.epoch = 1
+	t.n = 0
+	t.epochs = make([]uint32, size)
+	t.keys = make([]uint32, size)
+	t.vals = make([]geom.Vec4, size)
+	mask := uint32(size - 1)
+	for i := range oldKeys {
+		if oldEpochs[i] != oldEpoch {
+			continue
+		}
+		j := oldKeys[i] & mask
+		for t.epochs[j] == t.epoch {
+			j = (j + 1) & mask
+		}
+		t.epochs[j] = t.epoch
+		t.keys[j] = oldKeys[i]
+		t.vals[j] = oldVals[i]
+		t.n++
+	}
+}
+
+// entries appends the live (hash, color) pairs to dst, for checkpoints.
+func (t *memoTable) entries(dst []memoEntry) []memoEntry {
+	for i, e := range t.epochs {
+		if e == t.epoch {
+			dst = append(dst, memoEntry{H: t.keys[i], C: t.vals[i]})
+		}
+	}
+	return dst
+}
+
+// memoEntry is one checkpointed hash→color pair.
+type memoEntry struct {
+	H uint32
+	C geom.Vec4
+}
+
 // memoState is the PFR-synchronized memoization model. The current tile's
-// hash→color map is passed in explicitly (it lives on the rendering worker),
-// so that concurrent tile renders never share mutable state: prev[tile] is
-// only ever read and written by tile's own render, which keeps it safely
-// per-tile-disjoint under parallel raster execution. The Lookups/Hits
-// counters are folded in by the commit stage from per-tile shards.
+// hash→color table is handed out explicitly (tileTable) and passed back at
+// commit, so that concurrent tile renders never share mutable state:
+// cur[tile] and prev[tile] are only ever touched by tile's own render, which
+// keeps them safely per-tile-disjoint under parallel raster execution. Each
+// tile owns two pooled tables whose roles swap every frame — the frame
+// being rendered inserts into one while reading the other (previous frame's
+// entries). The Lookups/Hits counters are folded in by the commit stage
+// from per-tile shards.
 type memoState struct {
 	cap  int
-	prev []map[uint32]geom.Vec4 // per tile: entries from the previous frame
+	cur  []*memoTable // per tile: table for the frame being rendered
+	prev []*memoTable // per tile: entries committed by the previous frame
 
 	Lookups uint64
 	Hits    uint64
 }
 
 func newMemoState(tiles, lutEntries int) *memoState {
-	return &memoState{cap: lutEntries, prev: make([]map[uint32]geom.Vec4, tiles)}
+	return &memoState{
+		cap:  lutEntries,
+		cur:  make([]*memoTable, tiles),
+		prev: make([]*memoTable, tiles),
+	}
 }
 
-// commitTile records the tile's entries as the baseline for the next frame.
-func (m *memoState) commitTile(tile int, cur map[uint32]geom.Vec4) {
-	m.prev[tile] = cur
+// tileTable returns tile's reset current-frame table, allocating it on first
+// use (each tile reaches its steady two tables within two frames).
+func (m *memoState) tileTable(tile int) *memoTable {
+	t := m.cur[tile]
+	if t == nil {
+		t = new(memoTable)
+		m.cur[tile] = t
+	}
+	t.reset()
+	return t
+}
+
+// commitTile records the tile's entries as the baseline for the next frame
+// and recycles the old baseline table as the tile's next scratch.
+func (m *memoState) commitTile(tile int, cur *memoTable) {
+	m.cur[tile], m.prev[tile] = m.prev[tile], cur
 }
 
 // lookup returns a memoized color from the current tile's entries, or — when
 // crossFrame permits it (second frame of a PFR pair) — from the previous
 // frame's same tile.
-func (m *memoState) lookup(cur map[uint32]geom.Vec4, tile int, h uint32, crossFrame bool) (geom.Vec4, bool) {
-	if c, ok := cur[h]; ok {
+func (m *memoState) lookup(cur *memoTable, tile int, h uint32, crossFrame bool) (geom.Vec4, bool) {
+	if c, ok := cur.lookup(h); ok {
 		return c, true
 	}
 	if crossFrame {
-		if c, ok := m.prev[tile][h]; ok {
-			return c, true
+		if p := m.prev[tile]; p != nil {
+			if c, ok := p.lookup(h); ok {
+				return c, true
+			}
 		}
 	}
 	return geom.Vec4{}, false
 }
 
 // insert memoizes a shaded color, respecting the LUT capacity.
-func (m *memoState) insert(cur map[uint32]geom.Vec4, h uint32, color geom.Vec4) {
-	if len(cur) >= m.cap {
+func (m *memoState) insert(cur *memoTable, h uint32, color geom.Vec4) {
+	if cur.n >= m.cap {
 		return
 	}
-	cur[h] = color
+	cur.insert(h, color)
+}
+
+// snapshotPrev deep-copies the per-tile baselines for a checkpoint. The
+// pooled tables are mutated again two frames later (their roles swap), so —
+// unlike the old per-frame maps — sharing them with a checkpoint is not
+// safe; the compact entry list is the stable form.
+func (m *memoState) snapshotPrev() [][]memoEntry {
+	out := make([][]memoEntry, len(m.prev))
+	for i, t := range m.prev {
+		if t != nil && t.n > 0 {
+			out[i] = t.entries(make([]memoEntry, 0, t.n))
+		}
+	}
+	return out
+}
+
+// restorePrev rebuilds the per-tile baselines from a checkpoint. Entry order
+// within a tile is irrelevant: tables are probed by key only.
+func (m *memoState) restorePrev(prev [][]memoEntry) {
+	for i := range m.prev {
+		if len(prev[i]) == 0 {
+			m.prev[i] = nil
+			continue
+		}
+		t := m.prev[i]
+		if t == nil {
+			t = new(memoTable)
+			m.prev[i] = t
+		}
+		t.reset()
+		for _, e := range prev[i] {
+			t.insert(e.H, e.C)
+		}
+	}
 }
 
 // memoLUT is the plain global LUT (no PFR tile synchronization) used by the

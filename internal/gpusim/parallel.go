@@ -104,6 +104,7 @@ type rasterWorker struct {
 	fsExec    shader.Exec
 	sampler   workerSampler
 	hasher    fragmentHasher
+	frag      rast.Fragment // rasterizer fragment scratch (RasterizeInto)
 	teCRC     crc.ComputeUnit
 	teByteBuf [fb.TileSize * fb.TileSize * 4]byte
 
@@ -192,17 +193,17 @@ func (w *rasterWorker) renderTile(tile int, res *tileResult, tr *obs.Thread) {
 	// PFR pairing: the second frame of each pair may reuse the first's
 	// same-tile entries; the first of a pair only reuses intra-frame.
 	crossFrame := s.frameIdx%2 == 1
-	var memoCur map[uint32]geom.Vec4
+	var memoCur *memoTable
 	if s.cfg.Technique == Memo {
-		memoCur = make(map[uint32]geom.Vec4, 64)
+		memoCur = s.memo.tileTable(tile)
 	}
 	var tileFrags uint64
 	st := &res.shard
 	w.sampler.res = res
 
 	for _, e := range bin {
-		tri := &s.tris[e.Ref.Tri]
-		draw := &s.draws[e.Ref.Draw]
+		tri := &s.arena.tris[e.Ref.Tri]
+		draw := &s.arena.draws[e.Ref.Draw]
 		fsProg := s.programs[draw.pipe.FS]
 		for u := range w.sampler.tex {
 			w.sampler.tex[u] = s.textures[draw.pipe.Tex[u]]
@@ -214,7 +215,7 @@ func (w *rasterWorker) renderTile(tile int, res *tileResult, tr *obs.Thread) {
 		depthWrite := draw.pipe.DepthWrite
 		blend := draw.pipe.Blend
 
-		tri.st.Rasterize(rect, func(qx, qy int, mask uint8) {
+		tri.st.RasterizeInto(rect, &w.frag, func(qx, qy int, mask uint8) {
 			res.tw.Quads++
 			st.quadsTested++
 			st.depthBufAcc += 2 // test + conditional update
@@ -430,10 +431,7 @@ func (s *Simulator) commitTile(tile int, res *tileResult, st *Stats) {
 // byte-identical either way.
 func (s *Simulator) rasterPhase(st *Stats) {
 	n := s.fbuf.NumTiles()
-	if cap(s.tileRes) < n {
-		s.tileRes = make([]tileResult, n)
-	}
-	tiles := s.tileRes[:n]
+	tiles := s.arena.tiles(n)
 
 	nw := s.tileWorkers
 	if nw > n {

@@ -85,27 +85,21 @@ type Simulator struct {
 
 	vsExec shader.Exec
 
-	// Raster-phase execution (parallel.go): resolved worker count, the
-	// persistent workers holding all per-goroutine mutable state, and the
-	// per-tile result entries reused across frames.
+	// Raster-phase execution (parallel.go): resolved worker count and the
+	// persistent workers holding all per-goroutine mutable state.
 	tileWorkers int
 	workers     []*rasterWorker
-	tileRes     []tileResult
 
-	// Per-frame scratch, reused across frames.
-	frame         *Stats
-	curClass      TrafficClass
-	draws         []drawRec
-	tris          []triRec
-	pendingConsts []byte
-	primScratch   []byte
-	clipScratch   []rast.Triangle
-	shadedScratch []rast.Vertex
-	frameIdx      int
-	clearColor    uint32
-	skipCounts    []uint32
-	signedPipe    api.SetPipeline
-	pipeSigned    bool
+	// arena owns all per-frame scratch, reused across frames (arena.go);
+	// frame points at its Stats while RunFrame is executing.
+	arena      frameArena
+	frame      *Stats
+	curClass   TrafficClass
+	frameIdx   int
+	clearColor uint32
+	skipCounts []uint32
+	signedPipe api.SetPipeline
+	pipeSigned bool
 
 	// tracer is the shared sink worker threads register tracks on; tr is the
 	// pipeline-stage tracing track. Both are nil when tracing is off, and
@@ -255,10 +249,15 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	return res, nil
 }
 
-// FrameBufferCRC signs the displayed (front) buffer; see Result.FBCRC.
+// FrameBufferCRC signs the displayed (front) buffer; see Result.FBCRC. The
+// serialization scratch lives in the frame arena so per-frame CRC checks
+// (determinism soaks, chaos tests) do not allocate.
 func (s *Simulator) FrameBufferCRC() uint32 {
 	front := s.fbuf.Front()
-	buf := make([]byte, len(front)*4)
+	if cap(s.arena.crcBuf) < len(front)*4 {
+		s.arena.crcBuf = make([]byte, len(front)*4)
+	}
+	buf := s.arena.crcBuf[:len(front)*4]
 	for i, px := range front {
 		buf[i*4] = byte(px)
 		buf[i*4+1] = byte(px >> 8)
@@ -270,8 +269,9 @@ func (s *Simulator) FrameBufferCRC() uint32 {
 
 // RunFrame executes one frame and returns its statistics.
 func (s *Simulator) RunFrame(frame *api.Frame) Stats {
-	st := Stats{Frames: 1}
-	s.frame = &st
+	s.arena.beginFrame()
+	st := &s.arena.stats
+	s.frame = st
 	if s.tr != nil {
 		s.tr.BeginArg("frame", "frame", int64(s.frameIdx))
 	}
@@ -292,9 +292,6 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	s.state.BeginFrame()
 	s.re.BeginFrame()
 	s.binner.Reset()
-	s.draws = s.draws[:0]
-	s.tris = s.tris[:0]
-	s.pendingConsts = s.pendingConsts[:0]
 	s.pipeSigned = false // sign the first bound pipeline of each frame
 
 	var geo timing.GeometryWork
@@ -305,7 +302,7 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	for _, cmd := range frame.Commands {
 		switch c := cmd.(type) {
 		case api.Draw:
-			s.processDraw(c, &st, &geo)
+			s.processDraw(c, st, &geo)
 		case api.UploadProgram:
 			s.state.Apply(cmd)
 			for int(c.ID) >= len(s.programs) {
@@ -330,7 +327,7 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 			}
 		case api.SetUniforms:
 			s.state.Apply(cmd)
-			s.pendingConsts = api.AppendUniformRecord(s.pendingConsts, c)
+			s.arena.pendingConsts = api.AppendUniformRecord(s.arena.pendingConsts, c)
 		default:
 			s.state.Apply(cmd)
 		}
@@ -360,7 +357,7 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 		s.tr.Begin("raster")
 	}
 
-	s.rasterPhase(&st)
+	s.rasterPhase(st)
 	if s.tr != nil {
 		s.tr.End() // raster
 	}
@@ -421,7 +418,7 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	}
 	s.frameIdx++
 	s.frame = nil
-	return st
+	return *st
 }
 
 // accessExtra performs a cache access and returns the latency beyond the
@@ -450,27 +447,30 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 	if d.Validate() != nil || d.TriangleCount() == 0 {
 		return
 	}
-	drawIdx := len(s.draws)
-	var rec drawRec
+	// The record is built in place in the arena (not in a local first):
+	// rec.uniforms[:] is later handed to the vertex-shader VM, and a slice
+	// of a local's array would force a per-draw heap escape.
+	drawIdx := len(s.arena.draws)
+	s.arena.draws = append(s.arena.draws, drawRec{})
+	rec := &s.arena.draws[drawIdx]
 	rec.pipe = s.state.Pipeline
 	rec.numAttrs = d.NumAttrs
 	copy(rec.uniforms[:], s.state.SignedConstants())
-	s.draws = append(s.draws, rec)
 
 	// Render-state changes are signed alongside the constants: rebinding a
 	// program/texture/blend/depth mode changes tile outputs just like a
 	// uniform does.
 	if !s.pipeSigned || s.signedPipe != rec.pipe {
-		s.pendingConsts = api.AppendPipelineRecord(s.pendingConsts, rec.pipe)
+		s.arena.pendingConsts = api.AppendPipelineRecord(s.arena.pendingConsts, rec.pipe)
 		s.signedPipe = rec.pipe
 		s.pipeSigned = true
 	}
 
 	// A pending uniform or state update opens a new constants epoch in the
 	// Signature Unit.
-	if len(s.pendingConsts) > 0 {
-		s.re.OnConstants(s.pendingConsts)
-		s.pendingConsts = s.pendingConsts[:0]
+	if len(s.arena.pendingConsts) > 0 {
+		s.re.OnConstants(s.arena.pendingConsts)
+		s.arena.pendingConsts = s.arena.pendingConsts[:0]
 	}
 
 	// Vertex fetch through the vertex cache (static VBO layout: the same
@@ -495,10 +495,7 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 	// Vertex shading.
 	vs := s.programs[rec.pipe.VS]
 	s.vsExec.Consts = rec.uniforms[:]
-	if cap(s.shadedScratch) < nv {
-		s.shadedScratch = make([]rast.Vertex, nv)
-	}
-	shaded := s.shadedScratch[:nv]
+	shaded := s.arena.shaded(nv)
 	for v := 0; v < nv; v++ {
 		attrs := d.Vertex(v)
 		for i := range attrs {
@@ -522,23 +519,23 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 	pbBytesPerTri := 3 * (1 + nVaryings) * 16
 	for tri := 0; tri < d.TriangleCount(); tri++ {
 		st.Triangles++
-		s.clipScratch = rast.ClipNear(s.clipScratch[:0],
+		s.arena.clipScratch = rast.ClipNear(s.arena.clipScratch[:0],
 			rast.Triangle{V: [3]rast.Vertex{
 				shaded[d.TriVertexIndex(tri, 0)],
 				shaded[d.TriVertexIndex(tri, 1)],
 				shaded[d.TriVertexIndex(tri, 2)],
 			}})
-		for ci := range s.clipScratch {
-			stri, ok := rast.Setup(s.clipScratch[ci], s.trace.Width, s.trace.Height, rec.pipe.CullBack)
+		for ci := range s.arena.clipScratch {
+			stri, ok := rast.Setup(s.arena.clipScratch[ci], s.trace.Width, s.trace.Height, rec.pipe.CullBack)
 			if !ok {
 				continue
 			}
-			ref := tiling.PrimRef{Draw: drawIdx, Tri: len(s.tris)}
+			ref := tiling.PrimRef{Draw: drawIdx, Tri: len(s.arena.tris)}
 			tiles := s.binner.Insert(&stri, ref, d.NumAttrs, pbBytesPerTri)
 			if len(tiles) == 0 {
 				continue
 			}
-			s.tris = append(s.tris, triRec{st: stri, draw: drawIdx})
+			s.arena.tris = append(s.arena.tris, triRec{st: stri, draw: drawIdx})
 			st.Binned++
 			geo.BinTilePairs += uint64(len(tiles))
 
@@ -551,8 +548,8 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 			}
 
 			// Sign the primitive's submitted attributes (Section III-E).
-			s.primScratch = api.AppendPrimitive(s.primScratch[:0], d, tri)
-			s.re.OnPrimitive(s.primScratch, tiles, producer)
+			s.arena.primScratch = api.AppendPrimitive(s.arena.primScratch[:0], d, tri)
+			s.re.OnPrimitive(s.arena.primScratch, tiles, producer)
 		}
 	}
 	if s.tr != nil {

@@ -334,6 +334,10 @@ type Pool struct {
 const registryLimit = 4096
 
 // New builds a pool and starts its workers.
+//
+// Deprecated: use NewPool with functional options (WithWorkers,
+// WithTileWorkers, WithCheckpointInterval, ...). New remains as a one-call
+// compatibility shim and builds an identical pool.
 func New(opts Options) *Pool {
 	if opts.Workers <= 0 {
 		// Share the host between the job pool and each job's tile workers:

@@ -1,0 +1,91 @@
+package jobs
+
+import (
+	"log/slog"
+	"time"
+
+	"rendelim/internal/fault"
+	"rendelim/internal/obs"
+)
+
+// Option configures a Pool built with NewPool. The zero configuration is
+// usable: NewPool() sizes itself from GOMAXPROCS with the same defaults New
+// has always applied. Options compose left to right; later options win.
+type Option func(*Options)
+
+// NewPool builds a worker pool from functional options. It is the preferred
+// constructor; New(Options{...}) remains as a compatibility shim and both
+// produce identical pools (see TestNewPoolOptionsEquivalence).
+func NewPool(opts ...Option) *Pool {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return New(o)
+}
+
+// WithWorkers sets the number of concurrent simulations. Zero or negative
+// selects the default: GOMAXPROCS divided by the effective tile-worker
+// count, so job-level and tile-level parallelism compose without
+// oversubscribing the host.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithTileWorkers sets each simulation's raster-phase parallelism (see
+// gpusim.Config.TileWorkers): 0 or 1 renders serially, n > 1 uses n
+// goroutines per running job, negative uses one per host CPU. Results never
+// depend on this knob, so it is excluded from job signatures.
+func WithTileWorkers(n int) Option { return func(o *Options) { o.TileWorkers = n } }
+
+// WithQueueDepth bounds the number of waiting jobs before Submit blocks.
+// Default 1024.
+func WithQueueDepth(n int) Option { return func(o *Options) { o.QueueDepth = n } }
+
+// WithCacheSize sets the LRU result-cache capacity in entries. Default 512.
+func WithCacheSize(n int) Option { return func(o *Options) { o.CacheSize = n } }
+
+// WithTimeout sets the per-attempt deadline. Zero means no deadline.
+func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
+
+// WithRetries sets how many times a transient failure or per-attempt
+// timeout is retried. Default 0.
+func WithRetries(n int) Option { return func(o *Options) { o.Retries = n } }
+
+// WithBackoff sets the initial retry backoff, which doubles per attempt.
+// Default 50ms.
+func WithBackoff(d time.Duration) Option { return func(o *Options) { o.Backoff = d } }
+
+// WithRun replaces the built-in resumable runner with a custom job
+// executor.
+func WithRun(fn RunFunc) Option { return func(o *Options) { o.Run = fn } }
+
+// WithLogger sets the structured job-lifecycle logger. Default
+// slog.Default().
+func WithLogger(l *slog.Logger) Option { return func(o *Options) { o.Logger = l } }
+
+// WithCheckpointInterval makes the built-in runner snapshot the simulator
+// every n completed frames, so a retried attempt resumes from the last
+// checkpoint instead of frame 0. Zero disables checkpointing. Ignored when
+// a custom Run is set.
+func WithCheckpointInterval(n int) Option { return func(o *Options) { o.CheckpointInterval = n } }
+
+// WithFault injects deterministic faults at the pool's sites and threads
+// the plan into each simulation's config. Nil costs nothing.
+func WithFault(p *fault.Plan) Option { return func(o *Options) { o.Fault = p } }
+
+// WithBreaker configures the per-benchmark circuit breaker: it opens after
+// threshold consecutive non-transient terminal failures and admits a
+// half-open trial after cooldown. threshold 0 selects the default (5),
+// negative disables the breaker; cooldown <= 0 selects the default (30s).
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(o *Options) {
+		o.BreakerThreshold = threshold
+		o.BreakerCooldown = cooldown
+	}
+}
+
+// WithJournal routes notable job-lifecycle events (accepted, eliminated,
+// shed, panicked, breaker transitions) to the /debug/events flight
+// recorder. Nil costs nothing.
+func WithJournal(j *obs.Journal) Option { return func(o *Options) { o.Journal = j } }

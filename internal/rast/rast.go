@@ -158,7 +158,18 @@ type QuadFunc func(qx, qy int, mask uint8)
 // emitting covered fragments in quad order with perspective-correct
 // varyings. Coverage follows the top-left rule so shared edges are drawn
 // exactly once.
+//
+// It allocates one Fragment per call; steady-state callers should hold a
+// Fragment in reusable scratch and use RasterizeInto instead.
 func (st *ScreenTri) Rasterize(rect geom.Rect, onQuad QuadFunc, emit FragmentFunc) {
+	var frag Fragment
+	st.RasterizeInto(rect, &frag, onQuad, emit)
+}
+
+// RasterizeInto is Rasterize with caller-provided fragment scratch: frag is
+// overwritten for every covered pixel and passed to emit, so the traversal
+// itself never allocates. emit must not retain the pointer past its return.
+func (st *ScreenTri) RasterizeInto(rect geom.Rect, frag *Fragment, onQuad QuadFunc, emit FragmentFunc) {
 	bb := st.BBox(rect)
 	if bb.Empty() {
 		return
@@ -200,7 +211,6 @@ func (st *ScreenTri) Rasterize(rect geom.Rect, onQuad QuadFunc, emit FragmentFun
 		return incl[i]
 	}
 
-	var frag Fragment
 	qy0 := bb.Y0 &^ 1
 	qx0 := bb.X0 &^ 1
 	for qy := qy0; qy < bb.Y1; qy += 2 {
@@ -250,7 +260,7 @@ func (st *ScreenTri) Rasterize(rect geom.Rect, onQuad QuadFunc, emit FragmentFun
 						Add(st.VarW[2][v].Scale(w2)).
 						Scale(rw)
 				}
-				emit(&frag)
+				emit(frag)
 			}
 		}
 	}

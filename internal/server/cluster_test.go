@@ -65,11 +65,11 @@ func startCluster(t *testing.T, n int, healthInterval, resultTTL time.Duration) 
 		tracer := obs.NewTracer()
 		journal := obs.NewJournal(0)
 		logs := &syncBuf{}
-		pool := jobs.New(jobs.Options{
-			Workers: 2,
-			Journal: journal,
-			Logger:  slog.New(slog.NewTextHandler(logs, &slog.HandlerOptions{Level: slog.LevelDebug})),
-		})
+		pool := jobs.NewPool(
+			jobs.WithWorkers(2),
+			jobs.WithJournal(journal),
+			jobs.WithLogger(slog.New(slog.NewTextHandler(logs, &slog.HandlerOptions{Level: slog.LevelDebug}))),
+		)
 		srv := New(pool, Limits{})
 		srv.SetLogger(slog.New(slog.NewTextHandler(logs, &slog.HandlerOptions{Level: slog.LevelDebug})))
 		srv.SetTracer(tracer)

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rendelim/internal/apihttp"
 	"rendelim/internal/cluster"
 	"rendelim/internal/fault"
 	"rendelim/internal/gpusim"
@@ -91,6 +92,11 @@ type Server struct {
 	// stays bounded.
 	httpMu    sync.Mutex
 	httpHists map[httpLabel]*stats.Histogram
+
+	// legacyWarned dedups the per-route deprecation warning for the
+	// unversioned route aliases (keyed by normalized route label, so job-id
+	// paths cannot grow it without bound).
+	legacyWarned sync.Map
 }
 
 // httpLabel keys one HTTP latency series.
@@ -217,10 +223,16 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // and /debug/events introspection endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/jobs", s.handleJobs)
-	mux.HandleFunc("/jobs/", s.handleJobByID)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc(apihttp.PathJobs, s.handleJobs)
+	mux.HandleFunc(apihttp.PathJobs+"/", s.handleJobByID)
+	mux.HandleFunc(apihttp.PathHealthz, s.handleHealthz)
+	mux.HandleFunc(apihttp.PathMetrics, s.handleMetrics)
+	// Unversioned aliases: same handlers, but stamped with deprecation
+	// headers and logged on first hit so stale clients are discoverable.
+	mux.HandleFunc(apihttp.LegacyPathJobs, s.legacy(apihttp.PathJobs, s.handleJobs))
+	mux.HandleFunc(apihttp.LegacyPathJobs+"/", s.legacy(apihttp.PathJobs+"/{id}", s.handleJobByID))
+	mux.HandleFunc(apihttp.LegacyPathHealthz, s.legacy(apihttp.PathHealthz, s.handleHealthz))
+	mux.HandleFunc(apihttp.LegacyPathMetrics, s.legacy(apihttp.PathMetrics, s.handleMetrics))
 	mux.HandleFunc("/debug/events", s.handleEvents)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -279,15 +291,36 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
+// legacy wraps a handler reached through a deprecated unversioned route:
+// every reply carries Deprecation and successor-version Link headers, and
+// the first hit per route logs a warning naming the /v1 replacement.
+func (s *Server) legacy(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		route := routeLabel(r.URL.Path)
+		if _, warned := s.legacyWarned.LoadOrStore(route, true); !warned {
+			s.log.Warn("deprecated unversioned route", "route", route, "successor", successor)
+		}
+		h(w, r)
+	}
+}
+
 // routeLabel normalizes a request path to a bounded label set for the
 // latency histogram — raw paths (job ids, pprof profiles) would explode
 // series cardinality.
 func routeLabel(path string) string {
 	switch {
-	case path == "/jobs":
+	case path == apihttp.LegacyPathJobs:
 		return "/jobs"
-	case strings.HasPrefix(path, "/jobs/"):
+	case path == apihttp.PathJobs:
+		return "/v1/jobs"
+	case strings.HasPrefix(path, apihttp.PathJobs+"/"):
+		return "/v1/jobs/{id}"
+	case strings.HasPrefix(path, apihttp.LegacyPathJobs+"/"):
 		return "/jobs/{id}"
+	case path == apihttp.PathHealthz, path == apihttp.PathMetrics:
+		return path
 	case path == "/healthz", path == "/metrics", path == "/debug/vars", path == "/debug/events":
 		return path
 	case strings.HasPrefix(path, "/debug/pprof"):
@@ -323,30 +356,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, evs)
 }
 
-// SubmitRequest is the JSON body of POST /jobs for workload-spec jobs.
-type SubmitRequest struct {
-	Alias  string `json:"alias"`
-	Tech   string `json:"tech"`             // base | re | te | memo; default re
-	Width  int    `json:"width,omitempty"`  // default 480
-	Height int    `json:"height,omitempty"` // default 272
-	Frames int    `json:"frames,omitempty"` // default 50
-	Seed   int64  `json:"seed,omitempty"`   // default 1
-	Tag    string `json:"tag,omitempty"`
-}
-
-// JobResponse is the JSON shape of POST /jobs and GET /jobs/{id}.
-type JobResponse struct {
-	ID       string              `json:"id"`
-	Key      string              `json:"key"` // trace-signature/config-hash pair
-	State    string              `json:"state"`
-	Deduped  bool                `json:"deduped"` // eliminated by signature match
-	Error    string              `json:"error,omitempty"`
-	Result   *jobs.ResultSummary `json:"result,omitempty"`
-	Detail   string              `json:"detail,omitempty"`
-	Location string              `json:"location,omitempty"`
-	Node     string              `json:"node,omitempty"`  // owning cluster node, when forwarded
-	Trace    string              `json:"trace,omitempty"` // trace id of the request that produced this response
-}
+// SubmitRequest and JobResponse are the wire types of the jobs API. They
+// live in internal/apihttp (shared with the cluster client and restat);
+// the aliases keep this package's exported surface intact.
+type (
+	SubmitRequest = apihttp.SubmitRequest
+	JobResponse   = apihttp.JobResponse
+)
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -406,7 +422,7 @@ func (s *Server) submitLocal(w http.ResponseWriter, r *http.Request, spec jobs.S
 	if resp.State == "done" || resp.State == "failed" {
 		status = http.StatusOK
 	}
-	resp.Location = "/jobs/" + job.ID
+	resp.Location = apihttp.JobsPrefix(r.URL.Path) + "/" + job.ID
 	writeJSON(w, status, resp)
 }
 
@@ -546,7 +562,7 @@ func (s *Server) relayReply(w http.ResponseWriter, r *http.Request, rep *cluster
 		return
 	}
 	resp.Node = rep.Owner
-	resp.Location = "/jobs/" + resp.ID + "?peer=" + url.QueryEscape(rep.Owner)
+	resp.Location = apihttp.JobsPrefix(r.URL.Path) + "/" + resp.ID + "?peer=" + url.QueryEscape(rep.Owner)
 	// The reply's trace id is the *owner's view* of the hop that produced it
 	// (a read-through hit may carry a long-finished trace). Overwrite with
 	// this request's trace id so clients always correlate to their own call.
@@ -575,7 +591,7 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, _ := apihttp.JobID(r.URL.Path)
 	// ?peer= names the owning node of a forwarded job (the Location a
 	// clustered POST handed back). Proxy the lookup there — unlike submit,
 	// a status lookup has no degraded fallback (the job state exists only
@@ -651,11 +667,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// still completes during the drain window.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":      status,
-		"workers":     s.pool.Workers(),
-		"queue_depth": s.pool.Metrics().QueueDepth(),
-		"uptime_sec":  int64(time.Since(s.start).Seconds()),
+	writeJSON(w, code, apihttp.HealthResponse{
+		Status:     status,
+		Workers:    s.pool.Workers(),
+		QueueDepth: s.pool.Metrics().QueueDepth(),
+		UptimeSec:  int64(time.Since(s.start).Seconds()),
 	})
 }
 

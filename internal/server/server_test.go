@@ -26,7 +26,7 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *jobs.Pool) {
 	t.Helper()
-	pool := jobs.New(jobs.Options{Workers: 2, CacheSize: 32})
+	pool := jobs.NewPool(jobs.WithWorkers(2), jobs.WithCacheSize(32))
 	t.Cleanup(func() { pool.Close(context.Background()) })
 	srv := httptest.NewServer(New(pool, Limits{}).Handler())
 	t.Cleanup(srv.Close)
@@ -398,7 +398,7 @@ func TestOverloadSheds429(t *testing.T) {
 			return gpusim.Result{}, ctx.Err()
 		}
 	}
-	pool := jobs.New(jobs.Options{Workers: 1, QueueDepth: 1, Run: run})
+	pool := jobs.NewPool(jobs.WithWorkers(1), jobs.WithQueueDepth(1), jobs.WithRun(run))
 	t.Cleanup(func() { close(block); pool.Close(context.Background()) })
 	srv := httptest.NewServer(New(pool, Limits{}).Handler())
 	t.Cleanup(srv.Close)
@@ -441,7 +441,7 @@ func TestOverloadSheds429(t *testing.T) {
 
 // StartDraining must flip /healthz to 503 {"status":"draining"}.
 func TestHealthzDraining(t *testing.T) {
-	pool := jobs.New(jobs.Options{Workers: 1, CacheSize: 8})
+	pool := jobs.NewPool(jobs.WithWorkers(1), jobs.WithCacheSize(8))
 	t.Cleanup(func() { pool.Close(context.Background()) })
 	s := New(pool, Limits{})
 	srv := httptest.NewServer(s.Handler())
@@ -473,7 +473,7 @@ func TestHealthzDraining(t *testing.T) {
 // The handler middleware must recover injected accept-path panics (500, the
 // process survives) and shed injected transient faults (503 + Retry-After).
 func TestHandlerFaultInjection(t *testing.T) {
-	pool := jobs.New(jobs.Options{Workers: 1, CacheSize: 8})
+	pool := jobs.NewPool(jobs.WithWorkers(1), jobs.WithCacheSize(8))
 	t.Cleanup(func() { pool.Close(context.Background()) })
 	s := New(pool, Limits{})
 	srv := httptest.NewServer(s.Handler())

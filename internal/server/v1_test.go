@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rendelim/internal/apihttp"
+)
+
+// TestV1Routes: the versioned surface answers identically to the legacy
+// routes, and Location fields keep a client on the API generation it called
+// in on.
+func TestV1Routes(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Submit through /v1/jobs; Location must be versioned.
+	code, jr := postJSON(t, srv.URL+apihttp.PathJobs+"?wait=1",
+		`{"alias": "ccs", "tech": "re", "width": 96, "height": 64, "frames": 2}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST %s: status %d", apihttp.PathJobs, code)
+	}
+	if jr.Location != apihttp.JobPath(jr.ID) {
+		t.Errorf("v1 submit Location = %q, want %q", jr.Location, apihttp.JobPath(jr.ID))
+	}
+
+	// The versioned status route resolves the same job.
+	resp, err := http.Get(srv.URL + apihttp.JobPath(jr.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr2 JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || jr2.ID != jr.ID || jr2.State != "done" {
+		t.Errorf("GET %s: status %d, id %q state %q", apihttp.JobPath(jr.ID), resp.StatusCode, jr2.ID, jr2.State)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Errorf("versioned route carries a Deprecation header")
+	}
+
+	// A legacy submit of the same job gets a legacy Location...
+	code, jl := postJSON(t, srv.URL+"/jobs?wait=1",
+		`{"alias": "ccs", "tech": "re", "width": 96, "height": 64, "frames": 2}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST /jobs: status %d", code)
+	}
+	if !jl.Deduped {
+		t.Errorf("legacy re-submit of the same spec was not eliminated")
+	}
+	if jl.Location != "/jobs/"+jl.ID {
+		t.Errorf("legacy submit Location = %q, want %q", jl.Location, "/jobs/"+jl.ID)
+	}
+
+	// /v1/healthz decodes into the shared typed response.
+	hresp, err := http.Get(srv.URL + apihttp.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h apihttp.HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if h.Status != "ok" || h.Workers < 1 {
+		t.Errorf("GET %s: %+v", apihttp.PathHealthz, h)
+	}
+
+	// /v1/metrics serves the Prometheus text surface.
+	mresp, err := http.Get(srv.URL + apihttp.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || !strings.Contains(string(mraw), "resvc_jobs_submitted_total") {
+		t.Errorf("GET %s: status %d, body %.80s", apihttp.PathMetrics, mresp.StatusCode, mraw)
+	}
+}
+
+// TestLegacyRoutesDeprecationHeaders: unversioned aliases still work but
+// announce their replacement on every reply.
+func TestLegacyRoutesDeprecationHeaders(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for legacy, successor := range map[string]string{
+		"/healthz": apihttp.PathHealthz,
+		"/metrics": apihttp.PathMetrics,
+	} {
+		resp, err := http.Get(srv.URL + legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", legacy, resp.StatusCode)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("GET %s: missing Deprecation header", legacy)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, successor) {
+			t.Errorf("GET %s: Link %q does not name successor %s", legacy, link, successor)
+		}
+	}
+}

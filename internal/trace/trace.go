@@ -186,8 +186,85 @@ func Encode(out io.Writer, tr *api.Trace) error {
 	return w.w.Flush()
 }
 
+// Decoder decodes traces into reusable backing arenas: the per-command
+// slices (Draw.Data, Draw.Indices, SetUniforms.Values, Program.Instrs) of a
+// decoded trace are carved out of a handful of arena slices owned by the
+// Decoder instead of being individually allocated, so a caller that decodes
+// trace after trace (the job pool, the bench harness) reaches a steady
+// state where decode only boxes the command values themselves.
+//
+// Ownership: every Trace returned by Decode aliases the Decoder's arenas.
+// Reset reclaims the arenas for the next decode — callers must not use
+// previously decoded Traces after calling Reset. A zero Decoder is ready to
+// use; the package-level Decode is the convenience form that dedicates a
+// fresh Decoder (and thus fresh backing) to a single trace.
+type Decoder struct {
+	vec4s   []geom.Vec4
+	indices []uint16
+	instrs  []shader.Instr
+}
+
+// Reset reclaims the decoder's arenas, keeping their capacity, so the next
+// Decode reuses the memory of traces decoded before the Reset.
+func (d *Decoder) Reset() {
+	d.vec4s = d.vec4s[:0]
+	d.indices = d.indices[:0]
+	d.instrs = d.instrs[:0]
+}
+
+// vec4Span appends n vec4s read from r to the arena and returns the span as
+// a capacity-capped slice: later arena appends can never write into it.
+// Growth is driven by data actually arriving, never by the untrusted length
+// field alone, which subsumes the old capHint hostile-header defense.
+func (d *Decoder) vec4Span(r *reader, n int) []geom.Vec4 {
+	start := len(d.vec4s)
+	for i := 0; i < n && r.err == nil; i++ {
+		d.vec4s = append(d.vec4s, r.vec4())
+	}
+	end := len(d.vec4s)
+	return d.vec4s[start:end:end]
+}
+
+// indexSpan is vec4Span for uint16 index data.
+func (d *Decoder) indexSpan(r *reader, n int) []uint16 {
+	start := len(d.indices)
+	for i := 0; i < n && r.err == nil; i++ {
+		d.indices = append(d.indices, r.u16())
+	}
+	end := len(d.indices)
+	return d.indices[start:end:end]
+}
+
+// instrSpan decodes n shader instructions into the arena.
+func (d *Decoder) instrSpan(r *reader, n int) []shader.Instr {
+	start := len(d.instrs)
+	for i := 0; i < n && r.err == nil; i++ {
+		var in shader.Instr
+		in.Op = shader.Op(r.u8())
+		in.Dst.File = shader.File(r.u8())
+		in.Dst.Idx = r.u8()
+		in.Dst.Mask = r.u8()
+		in.TexUnit = r.u8()
+		for s := range in.Src {
+			in.Src[s].File = shader.File(r.u8())
+			in.Src[s].Idx = r.u8()
+			sw := r.u8()
+			in.Src[s].Swz = shader.Swz(sw&3, sw>>2&3, sw>>4&3, sw>>6&3)
+			in.Src[s].Neg = r.bool()
+		}
+		d.instrs = append(d.instrs, in)
+	}
+	end := len(d.instrs)
+	return d.instrs[start:end:end]
+}
+
 // Decode reads a trace and validates it.
 func Decode(in io.Reader) (*api.Trace, error) {
+	return new(Decoder).Decode(in)
+}
+
+// Decode reads one trace from in; see the type comment for arena ownership.
+func (d *Decoder) Decode(in io.Reader) (*api.Trace, error) {
 	r := &reader{r: bufio.NewReader(in)}
 	if string(r.bytes(4)) != Magic {
 		return nil, fmt.Errorf("trace: %w: bad magic", rerr.ErrBadTrace)
@@ -203,7 +280,7 @@ func Decode(in io.Reader) (*api.Trace, error) {
 
 	np := int(r.u16())
 	for i := 0; i < np && r.err == nil; i++ {
-		tr.Programs = append(tr.Programs, decodeProgram(r))
+		tr.Programs = append(tr.Programs, d.decodeProgram(r))
 	}
 	nt := int(r.u16())
 	for i := 0; i < nt && r.err == nil; i++ {
@@ -223,7 +300,7 @@ func Decode(in io.Reader) (*api.Trace, error) {
 			f.Commands = make([]api.Command, 0, capHint(nc))
 		}
 		for c := 0; c < nc && r.err == nil; c++ {
-			f.Commands = append(f.Commands, decodeCommand(r))
+			f.Commands = append(f.Commands, d.decodeCommand(r))
 		}
 		tr.Frames = append(tr.Frames, f)
 	}
@@ -254,25 +331,9 @@ func encodeProgram(w *writer, p *shader.Program) {
 	}
 }
 
-func decodeProgram(r *reader) *shader.Program {
+func (d *Decoder) decodeProgram(r *reader) *shader.Program {
 	p := &shader.Program{Name: r.str()}
-	n := int(r.u16())
-	for i := 0; i < n && r.err == nil; i++ {
-		var in shader.Instr
-		in.Op = shader.Op(r.u8())
-		in.Dst.File = shader.File(r.u8())
-		in.Dst.Idx = r.u8()
-		in.Dst.Mask = r.u8()
-		in.TexUnit = r.u8()
-		for s := range in.Src {
-			in.Src[s].File = shader.File(r.u8())
-			in.Src[s].Idx = r.u8()
-			sw := r.u8()
-			in.Src[s].Swz = shader.Swz(sw&3, sw>>2&3, sw>>4&3, sw>>6&3)
-			in.Src[s].Neg = r.bool()
-		}
-		p.Instrs = append(p.Instrs, in)
-	}
+	p.Instrs = d.instrSpan(r, int(r.u16()))
 	return p
 }
 
@@ -349,7 +410,7 @@ func encodeCommand(w *writer, cmd api.Command) {
 	}
 }
 
-func decodeCommand(r *reader) api.Command {
+func (d *Decoder) decodeCommand(r *reader) api.Command {
 	switch tag := r.u8(); tag {
 	case tagSetPipeline:
 		var c api.SetPipeline
@@ -366,10 +427,7 @@ func decodeCommand(r *reader) api.Command {
 	case tagSetUniforms:
 		var c api.SetUniforms
 		c.First = int(r.u16())
-		n := int(r.u16())
-		for i := 0; i < n && r.err == nil; i++ {
-			c.Values = append(c.Values, r.vec4())
-		}
+		c.Values = d.vec4Span(r, int(r.u16()))
 		return c
 	case tagDraw:
 		var c api.Draw
@@ -379,26 +437,20 @@ func decodeCommand(r *reader) api.Command {
 			r.fail("implausible draw size %d", n)
 			return c
 		}
-		c.Data = make([]geom.Vec4, 0, capHint(n))
-		for i := 0; i < n && r.err == nil; i++ {
-			c.Data = append(c.Data, r.vec4())
-		}
+		c.Data = d.vec4Span(r, n)
 		ni := int(r.u32())
 		if ni > 1<<26 {
 			r.fail("implausible index count %d", ni)
 			return c
 		}
 		if ni > 0 {
-			c.Indices = make([]uint16, 0, capHint(ni))
-			for i := 0; i < ni && r.err == nil; i++ {
-				c.Indices = append(c.Indices, r.u16())
-			}
+			c.Indices = d.indexSpan(r, ni)
 		}
 		return c
 	case tagUploadProgram:
 		var c api.UploadProgram
 		c.ID = api.ProgramID(r.u8())
-		c.Program = decodeProgram(r)
+		c.Program = d.decodeProgram(r)
 		return c
 	case tagUploadTexture:
 		var c api.UploadTexture

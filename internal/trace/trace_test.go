@@ -144,3 +144,54 @@ func TestDecodedTraceSimulatesIdentically(t *testing.T) {
 		}
 	}
 }
+
+// TestDecoderArenaReuse: a Decoder reused across decodes (Reset between
+// them) produces traces identical to fresh decodes, and its arenas actually
+// retain capacity — the second decode of the same bytes must not grow them.
+func TestDecoderArenaReuse(t *testing.T) {
+	p := workload.Params{Width: 96, Height: 64, Frames: 3, Seed: 1}
+	b, _ := workload.ByAlias("ccs")
+	orig := b.Build(p)
+	var buf bytes.Buffer
+	if err := Encode(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	var d Decoder
+	first, err := d.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capAfterFirst := cap(d.vec4s)
+
+	// The returned trace must survive further decodes that do NOT Reset:
+	// spans are capacity-capped, so arena growth never aliases them.
+	if _, err := d.Decode(bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	for f := range first.Frames {
+		if !reflect.DeepEqual(first.Frames[f], orig.Frames[f]) {
+			t.Fatalf("frame %d corrupted by a later decode on the same Decoder", f)
+		}
+	}
+
+	// After Reset, the arenas are recycled: same bytes, no further growth.
+	d.Reset()
+	capBefore := cap(d.vec4s)
+	if capBefore < capAfterFirst {
+		t.Errorf("Reset shrank the vec4 arena: %d -> %d", capAfterFirst, capBefore)
+	}
+	again, err := d.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(d.vec4s) != capBefore {
+		t.Errorf("vec4 arena grew across Reset reuse: %d -> %d", capBefore, cap(d.vec4s))
+	}
+	for f := range again.Frames {
+		if !reflect.DeepEqual(again.Frames[f], orig.Frames[f]) {
+			t.Fatalf("frame %d differs after arena reuse", f)
+		}
+	}
+}

@@ -24,6 +24,7 @@ func TestOptionsEquivalence(t *testing.T) {
 		}
 		cfg := rendelim.DefaultConfig()
 		cfg.Technique = tech
+		//lint:ignore SA1019 exercising the deprecated compatibility shim on purpose
 		old, err := rendelim.RunConfig(tr, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -118,6 +119,7 @@ func TestSentinelErrors(t *testing.T) {
 	if _, err := rendelim.NewSimulator(tr, rendelim.WithConfig(bad)); !errors.Is(err, rendelim.ErrBadConfig) {
 		t.Errorf("NewSimulator: err = %v, want ErrBadConfig", err)
 	}
+	//lint:ignore SA1019 the deprecated shim must keep returning typed errors
 	if _, err := rendelim.RunConfig(tr, bad); !errors.Is(err, rendelim.ErrBadConfig) {
 		t.Errorf("RunConfig: err = %v, want ErrBadConfig", err)
 	}
