@@ -76,7 +76,7 @@ func run(args []string, stdout io.Writer) error {
 	dump := fs.String("dump", "", "write rendered frames as PNGs into this directory")
 	tracefile := fs.String("tracefile", "", "write a Chrome trace-event pipeline timeline to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a Go CPU profile to this file")
-	inject := fs.String("inject", "", "fault-injection plan, e.g. 'dram.read:panic:0.05:3' (replay recovers from checkpoints)")
+	inject := fs.String("inject", "", "fault-injection plan, e.g. 'dram.read:panic:0.05:3' (replay recovers from checkpoints); store.write/store.sync/store.rename target resvc's durable store")
 	injectSeed := fs.Int64("inject-seed", 1, "fault-injection PRNG seed")
 	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
 	if err := fs.Parse(args); err != nil {

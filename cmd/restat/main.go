@@ -56,6 +56,16 @@ type NodeStat struct {
 	P50 float64 `json:"p50_seconds"`
 	P95 float64 `json:"p95_seconds"`
 	P99 float64 `json:"p99_seconds"`
+
+	// Durable-store recovery counters (resvc_store_*); all zero on nodes
+	// running without -data-dir. TornTruncations > 0 means the node booted
+	// past a torn WAL tail; Quarantined > 0 means corrupt snapshots were
+	// set aside on replay — both are damage survived, not damage hidden.
+	ResultsRecovered uint64 `json:"store_results_recovered"`
+	JobsRecovered    uint64 `json:"store_jobs_recovered"`
+	JobsResumed      uint64 `json:"store_jobs_resumed"`
+	TornTruncations  uint64 `json:"store_torn_tail_truncations"`
+	Quarantined      uint64 `json:"store_snapshots_quarantined"`
 }
 
 // ClusterStat aggregates the fleet: ratios are computed over summed
@@ -191,6 +201,11 @@ func scrapeNode(client *http.Client, node string) NodeStat {
 	ns.TilesTotal = gu("resvc_sim_tiles_total")
 	ns.TilesSkipped = gu("resvc_sim_tiles_skipped_total")
 	ns.CacheEntries = gi("resvc_result_cache_entries")
+	ns.ResultsRecovered = gu("resvc_store_results_recovered_total")
+	ns.JobsRecovered = gu("resvc_store_jobs_recovered_total")
+	ns.JobsResumed = gu("resvc_store_jobs_resumed_total")
+	ns.TornTruncations = gu("resvc_store_torn_tail_truncations_total")
+	ns.Quarantined = gu("resvc_store_snapshots_quarantined_total")
 	for _, s := range m.Samples {
 		if s.Name == "resvc_cluster_peer_up" {
 			ns.Peers++
@@ -268,6 +283,12 @@ func render(w io.Writer, snap Snapshot) {
 			ns.Node, "up", ns.QueueDepth, ns.Running, ns.Submitted, ns.ElimRatio*100,
 			ns.PeersUp, ns.Peers, ns.CacheEntries,
 			ns.P50*1000, ns.P95*1000, ns.P99*1000)
+		// The store sub-line only appears on nodes that actually recovered
+		// or repaired something — quiet fleets keep a quiet dashboard.
+		if ns.ResultsRecovered+ns.JobsRecovered+ns.JobsResumed+ns.TornTruncations+ns.Quarantined > 0 {
+			fmt.Fprintf(w, "%-22s store: %d results + %d jobs recovered (%d resumed), %d torn-tail truncations, %d quarantined\n",
+				"", ns.ResultsRecovered, ns.JobsRecovered, ns.JobsResumed, ns.TornTruncations, ns.Quarantined)
+		}
 	}
 	c := snap.Cluster
 	fmt.Fprintf(w, "\ncluster: %d/%d nodes up, queue %d, jobs %d submitted / %d eliminated (%.1f%%), tiles %d / %d skipped (%.1f%%)\n",

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -15,6 +17,7 @@ import (
 	"rendelim/internal/cluster"
 	"rendelim/internal/jobs"
 	"rendelim/internal/server"
+	"rendelim/internal/store"
 )
 
 // startNodes boots n fully-meshed in-process resvc nodes on loopback, the
@@ -142,6 +145,70 @@ func TestRestatOnceJSONAgainstCluster(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, "restat-snapshot.json"), out.Bytes(), 0o644); err != nil {
 			t.Logf("writing restat snapshot artifact: %v", err)
 		}
+	}
+}
+
+// TestRestatReportsStoreRecovery: a node that recovered durable state on
+// boot must surface the resvc_store_* counters in both the -json document
+// and the rendered table's store sub-line.
+func TestRestatReportsStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	st, err := store.Open(dir, store.Options{Logger: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := jobs.NewPool(jobs.WithWorkers(2), jobs.WithStore(st), jobs.WithLogger(quiet))
+	ts := httptest.NewServer(server.New(pool, server.Limits{}).Handler())
+	body := `{"alias": "ccs", "tech": "re", "width": 96, "height": 64, "frames": 2}`
+	resp, err := http.Post(ts.URL+"/jobs?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	ts.Close()
+	pool.Kill()
+	st.Close()
+
+	st2, err := store.Open(dir, store.Options{Logger: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2 := jobs.NewPool(jobs.WithWorkers(2), jobs.WithStore(st2), jobs.WithLogger(quiet))
+	ts2 := httptest.NewServer(server.New(pool2, server.Limits{}).Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		pool2.Close(context.Background())
+		st2.Close()
+	})
+	addr := strings.TrimPrefix(ts2.URL, "http://")
+
+	var out bytes.Buffer
+	if err := run([]string{"-once", "-json", "-node", addr}, &out); err != nil {
+		t.Fatalf("restat: %v\n%s", err, out.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	ns := snap.Nodes[0]
+	if ns.ResultsRecovered != 1 {
+		t.Errorf("store_results_recovered = %d, want 1", ns.ResultsRecovered)
+	}
+	if ns.TornTruncations != 0 || ns.Quarantined != 0 {
+		t.Errorf("clean restart reported damage: torn=%d quarantined=%d", ns.TornTruncations, ns.Quarantined)
+	}
+
+	out.Reset()
+	if err := run([]string{"-once", "-node", addr}, &out); err != nil {
+		t.Fatalf("restat table: %v", err)
+	}
+	if !strings.Contains(out.String(), "store: 1 results") {
+		t.Errorf("table missing store recovery sub-line:\n%s", out.String())
 	}
 }
 

@@ -9,7 +9,16 @@
 //	      [-checkpoint-interval 1] [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	      [-inject PLAN] [-inject-seed 1] [-log-level info] [-log-format text]
 //	      [-cluster-addr host:port] [-peer host:port]... [-health-interval 2s]
-//	      [-result-ttl 30s] [-tracefile out.json] [-journal 256]
+//	      [-result-ttl 30s] [-tracefile out.json] [-journal 256] [-data-dir DIR]
+//
+// Durability: with -data-dir the node journals job lifecycle to a
+// CRC-protected write-ahead log and snapshots completed results and
+// frame-boundary checkpoints under that directory. On startup the WAL is
+// replayed (a torn tail is truncated, corrupt snapshots are quarantined —
+// never a refusal to boot): completed results re-enter the elimination
+// cache, so identical submissions are deduplicated across restarts, and
+// jobs that were running when the process died resume from their last
+// persisted checkpoint instead of frame 0.
 //
 // Clustering: with one or more -peer flags (and -cluster-addr naming this
 // node's own advertised address), the nodes form a static consistent-hash
@@ -63,6 +72,7 @@ import (
 	"rendelim/internal/jobs"
 	"rendelim/internal/obs"
 	"rendelim/internal/server"
+	"rendelim/internal/store"
 )
 
 func main() {
@@ -88,7 +98,7 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	ckptInterval := fs.Int("checkpoint-interval", 1, "checkpoint the simulator every n frames so retries resume instead of restarting (0 = off)")
 	brkThreshold := fs.Int("breaker-threshold", 5, "consecutive non-transient failures before a benchmark's circuit breaker opens (negative = disabled)")
 	brkCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit breaker rejects before a half-open trial")
-	inject := fs.String("inject", "", "fault-injection plan, e.g. 'dram.read:panic:0.01:4,server.accept:latency:0.1' (chaos testing; empty = off)")
+	inject := fs.String("inject", "", "fault-injection plan, e.g. 'dram.read:panic:0.01:4,server.accept:latency:0.1,store.write:error:0.05'; store.write/store.sync/store.rename exercise the durability layer (chaos testing; empty = off)")
 	injectSeed := fs.Int64("inject-seed", 1, "fault-injection PRNG seed")
 	logLevel := fs.String("log-level", "", "log level: debug, info, warn, error (default info; env "+obs.EnvLogLevel+")")
 	logFormat := fs.String("log-format", "", "log format: text or json (default text; env "+obs.EnvLogFormat+")")
@@ -97,6 +107,7 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 	fs.Var(&peers, "peer", "peer node host:port; repeat for each member (enables clustering)")
 	healthInterval := fs.Duration("health-interval", 2*time.Second, "gap between peer /healthz probes")
 	resultTTL := fs.Duration("result-ttl", 30*time.Second, "how long a non-owner serves a remote result locally (read-through cache; negative = off)")
+	dataDir := fs.String("data-dir", "", "durable state directory: WAL + result/checkpoint snapshots; replayed on startup so results and in-flight jobs survive restarts (empty = memory-only)")
 	traceFile := fs.String("tracefile", "", "write a Chrome trace-event JSON (HTTP request and cluster forward spans) here on shutdown")
 	journalSize := fs.Int("journal", obs.DefaultJournalSize, "event-journal ring size served at /debug/events")
 	if err := fs.Parse(args); err != nil {
@@ -153,6 +164,25 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		return fmt.Errorf("-cluster-addr without any -peer flags; nothing to cluster with")
 	}
 
+	// The store opens (and replays its WAL) before the pool exists; the
+	// pool's constructor then consumes the recovery set. Closed after the
+	// pool drains so the last completions still reach the WAL.
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(*dataDir, store.Options{Fault: plan, Logger: log})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		sm := st.Metrics()
+		log.Info("durable store open", "dir", st.Dir(),
+			"results_recovered", sm.ResultsRecovered.Load(),
+			"jobs_recovered", sm.JobsRecovered.Load(),
+			"checkpoints_recovered", sm.CheckpointsRecovered.Load(),
+			"torn_tail_truncations", sm.TornTailTruncations.Load(),
+			"snapshots_quarantined", sm.SnapshotsQuarantined.Load())
+	}
+
 	pool := jobs.NewPool(
 		jobs.WithWorkers(*workers),
 		jobs.WithCacheSize(*cacheSize),
@@ -164,6 +194,7 @@ func run(args []string, ready chan<- string, sigs chan os.Signal, installSignals
 		jobs.WithBreaker(*brkThreshold, *brkCooldown),
 		jobs.WithFault(plan),
 		jobs.WithJournal(journal),
+		jobs.WithStore(st),
 	)
 	srv := server.New(pool, server.Limits{MaxBodyBytes: *maxBody})
 	srv.SetLogger(log)

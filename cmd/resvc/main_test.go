@@ -84,3 +84,78 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("daemon did not drain")
 	}
 }
+
+// TestDaemonDataDirSurvivesRestart runs the full binary path twice on one
+// -data-dir: the second daemon must serve the first daemon's job as an
+// elimination hit with the recovery visible on /metrics.
+func TestDaemonDataDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"alias": "ctr", "tech": "re", "width": 96, "height": 64, "frames": 2}`
+
+	boot := func() (string, chan os.Signal, chan error) {
+		t.Helper()
+		ready := make(chan string, 1)
+		sigs := make(chan os.Signal, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain", "10s",
+				"-data-dir", dir, "-log-level", "error"}, ready, sigs, false)
+		}()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, sigs, done
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		panic("unreachable")
+	}
+	post := func(base string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+"/jobs?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	stop := func(sigs chan os.Signal, done chan error) {
+		t.Helper()
+		sigs <- syscall.SIGTERM
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+
+	base, sigs, done := boot()
+	if first := post(base); first["state"] != "done" {
+		t.Fatalf("first life: %+v", first)
+	}
+	stop(sigs, done)
+
+	base, sigs, done = boot()
+	again := post(base)
+	if again["deduped"] != true {
+		t.Fatalf("restarted daemon did not eliminate the recovered job: %+v", again)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(raw), "resvc_store_results_recovered_total 1") {
+		t.Errorf("metrics missing store recovery count:\n%s", raw)
+	}
+	stop(sigs, done)
+}

@@ -8,6 +8,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"rendelim/internal/wire"
 )
 
 // Config describes one cache per the Table I format.
@@ -249,4 +251,49 @@ func (c *Cache) Restore(s Snapshot) {
 	}
 	c.lruTick = s.LRUTick
 	c.Stats = s.Stats
+}
+
+// AppendBinary serializes the snapshot in the durability layer's wire
+// format: every line's replacement state followed by the LRU clock and
+// counters.
+func (s Snapshot) AppendBinary(b []byte) []byte {
+	b = wire.AppendU32(b, uint32(len(s.Lines)))
+	for _, ln := range s.Lines {
+		b = wire.AppendU64(b, ln.tag)
+		b = wire.AppendBool(b, ln.valid)
+		b = wire.AppendBool(b, ln.dirty)
+		b = wire.AppendU32(b, ln.lru)
+	}
+	b = wire.AppendU32(b, s.LRUTick)
+	b = wire.AppendU64(b, s.Stats.Accesses)
+	b = wire.AppendU64(b, s.Stats.Hits)
+	b = wire.AppendU64(b, s.Stats.Misses)
+	b = wire.AppendU64(b, s.Stats.Writebacks)
+	b = wire.AppendU64(b, s.Stats.ReadBytes)
+	b = wire.AppendU64(b, s.Stats.WriteBytes)
+	return b
+}
+
+// DecodeSnapshot is the inverse of AppendBinary; errors are latched on r.
+func DecodeSnapshot(r *wire.Reader) Snapshot {
+	var s Snapshot
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n*14 > r.Len() {
+		return s
+	}
+	s.Lines = make([]line, n)
+	for i := range s.Lines {
+		s.Lines[i].tag = r.U64()
+		s.Lines[i].valid = r.Bool()
+		s.Lines[i].dirty = r.Bool()
+		s.Lines[i].lru = r.U32()
+	}
+	s.LRUTick = r.U32()
+	s.Stats.Accesses = r.U64()
+	s.Stats.Hits = r.U64()
+	s.Stats.Misses = r.U64()
+	s.Stats.Writebacks = r.U64()
+	s.Stats.ReadBytes = r.U64()
+	s.Stats.WriteBytes = r.U64()
+	return s
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"rendelim/internal/fault"
+	"rendelim/internal/wire"
 )
 
 // Config describes the memory system.
@@ -204,4 +205,44 @@ func (d *DRAM) Restore(s Snapshot) {
 		copy(ch, s.Banks[i*d.cfg.BanksPerChannel:(i+1)*d.cfg.BanksPerChannel])
 	}
 	d.Stats = s.Stats
+}
+
+// AppendBinary serializes the snapshot in the durability layer's wire
+// format: bank open-row state followed by the counters.
+func (s Snapshot) AppendBinary(b []byte) []byte {
+	b = wire.AppendU32(b, uint32(len(s.Banks)))
+	for _, bk := range s.Banks {
+		b = wire.AppendU64(b, bk.openRow)
+		b = wire.AppendBool(b, bk.valid)
+	}
+	b = wire.AppendU64(b, s.Stats.Reads)
+	b = wire.AppendU64(b, s.Stats.Writes)
+	b = wire.AppendU64(b, s.Stats.ReadBytes)
+	b = wire.AppendU64(b, s.Stats.WriteBytes)
+	b = wire.AppendU64(b, s.Stats.RowHits)
+	b = wire.AppendU64(b, s.Stats.RowMisses)
+	b = wire.AppendU64(b, s.Stats.BusBusyCycles)
+	return b
+}
+
+// DecodeSnapshot is the inverse of AppendBinary; errors are latched on r.
+func DecodeSnapshot(r *wire.Reader) Snapshot {
+	var s Snapshot
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 || n*9 > r.Len() {
+		return s
+	}
+	s.Banks = make([]bank, n)
+	for i := range s.Banks {
+		s.Banks[i].openRow = r.U64()
+		s.Banks[i].valid = r.Bool()
+	}
+	s.Stats.Reads = r.U64()
+	s.Stats.Writes = r.U64()
+	s.Stats.ReadBytes = r.U64()
+	s.Stats.WriteBytes = r.U64()
+	s.Stats.RowHits = r.U64()
+	s.Stats.RowMisses = r.U64()
+	s.Stats.BusBusyCycles = r.U64()
+	return s
 }

@@ -10,6 +10,32 @@
 // returns immediately without allocating (benchmarked at 0 allocs/op, like
 // the obs tracer's nil path), so production code can keep the hooks wired
 // unconditionally.
+//
+// # Instrumented sites
+//
+// These are every built-in hook in the stack, usable in -inject specs
+// (site:kind:prob[:limit[:latency]]):
+//
+//	dram.read      DRAM model read path. Panic = uncorrectable memory
+//	               fault; Latency = saturated memory controller (host time
+//	               only, never changes simulated results).
+//	dram.write     DRAM model write path; same kinds as dram.read.
+//	trace.decode   Before a job decodes an uploaded trace binary. Corrupt
+//	               additionally runs a deterministically mangled copy
+//	               through the decoder, which must fail gracefully.
+//	jobs.worker    In the job pool between dequeue and execution. Panic
+//	               escapes per-attempt recovery and exercises worker
+//	               replacement.
+//	server.accept  In the HTTP handler before routing. Transient/Corrupt
+//	               shed the request with 503; Panic exercises handler
+//	               recovery.
+//	store.write    Durability-layer file writes (WAL appends, snapshot
+//	               bodies). Transient models a full or failing disk.
+//	store.sync     Durability-layer fsync calls. Transient models an fsync
+//	               error — the write may or may not have reached the
+//	               platter.
+//	store.rename   The atomic rename that publishes a snapshot. Transient
+//	               models a crash between temp write and publish.
 package fault
 
 import (
@@ -41,6 +67,14 @@ const (
 	SiteWorker = "jobs.worker"
 	// SiteServerAccept fires in the HTTP handler before routing.
 	SiteServerAccept = "server.accept"
+	// SiteStoreWrite / SiteStoreSync / SiteStoreRename fire in the
+	// durability layer (internal/store) before file writes, fsyncs and the
+	// atomic snapshot-publishing rename respectively, so seeded plans can
+	// exercise disk failures. Transient is the natural kind for all three;
+	// recovered state must stay uncorrupted no matter where they fire.
+	SiteStoreWrite  = "store.write"
+	SiteStoreSync   = "store.sync"
+	SiteStoreRename = "store.rename"
 )
 
 // Kind is the failure mode an injection takes.

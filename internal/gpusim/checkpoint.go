@@ -126,6 +126,19 @@ func (s *Simulator) Resume(cp *Checkpoint) error {
 		return fmt.Errorf("gpusim: checkpoint mismatch: snapshot of a %dx%d %s run cannot restore this simulator",
 			cp.width, cp.height, cp.technique)
 	}
+	// Structural guards for checkpoints that crossed a process boundary
+	// (DecodeCheckpoint): the CRC seal makes these unreachable for honest
+	// corruption, but a mismatched cache geometry or tile count must error
+	// here rather than panic inside a Restore.
+	if got, want := len(cp.caches), len(s.checkpointCaches()); got != want {
+		return fmt.Errorf("gpusim: checkpoint carries %d cache snapshots, simulator has %d caches", got, want)
+	}
+	if got, want := len(cp.memoPrev), len(s.memo.prev); got != want {
+		return fmt.Errorf("gpusim: checkpoint carries %d memo tiles, simulator has %d", got, want)
+	}
+	if got, want := len(cp.fbuf.Bufs[0]), s.trace.Width*s.trace.Height; got != want {
+		return fmt.Errorf("gpusim: checkpoint framebuffer has %d pixels, simulator has %d", got, want)
+	}
 	s.fbuf.Restore(cp.fbuf)
 	s.re.Restore(cp.re)
 	s.teBuf.Restore(cp.teBuf)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"rendelim/internal/gpusim"
 	"rendelim/internal/obs"
 	"rendelim/internal/rerr"
+	"rendelim/internal/store"
 	"rendelim/internal/trace"
 	"rendelim/internal/workload"
 )
@@ -178,16 +180,22 @@ type Job struct {
 	// of recomputing from frame 0. Owned by the single worker executing
 	// the job (workers never share an in-flight job).
 	resume *resume
+	// walled is set once the job's submitted record reached the durable
+	// WAL; only walled jobs append further lifecycle records. Written
+	// before the job is queued, read by the worker that dequeues it.
+	walled bool
 	// panics counts worker-level panics while this job was in flight,
 	// bounding how often it is requeued.
 	panics atomic.Int32
 }
 
 // resume is a job's recovery state: the last frame-boundary checkpoint and
-// the stats of every frame completed before it.
+// the stats of every frame completed before it. recovered marks state that
+// crossed a process restart through the store (for the resumed-jobs metric).
 type resume struct {
-	cp     *gpusim.Checkpoint
-	frames []gpusim.Stats
+	cp        *gpusim.Checkpoint
+	frames    []gpusim.Stats
+	recovered bool
 }
 
 // Wait blocks until the job completes (or ctx expires — which abandons the
@@ -282,6 +290,15 @@ type Options struct {
 	// /debug/events flight recorder. Nil costs nothing.
 	Journal *obs.Journal
 
+	// Store, when non-nil, makes job state durable: leader submissions,
+	// starts, frame-boundary checkpoints, completions and terminal failures
+	// are WAL-logged and snapshotted, and at construction the pool replays
+	// the store's recovery set — completed results re-enter the cache and
+	// interrupted jobs are resubmitted from their last checkpoint. Nil (the
+	// default) keeps the pool memory-only. The caller owns the store's
+	// lifecycle and must close it after the pool.
+	Store *store.Store
+
 	// TileWorkers sets each simulation's raster-phase parallelism (see
 	// gpusim.Config.TileWorkers): 0 or 1 renders serially, n > 1 uses n
 	// goroutines per running job, negative uses one per host CPU. When
@@ -312,11 +329,12 @@ type Pool struct {
 	log     *slog.Logger
 	journal *obs.Journal // nil-safe; see Options.Journal
 
-	queue  chan *Job
-	sendMu sync.RWMutex // Submit sends under RLock; Close closes queue under Lock
-	wg     sync.WaitGroup
-	live   atomic.Int64 // currently-running worker goroutines; never shrinks below Workers
-	brk    *breaker     // per-benchmark circuit breaker; nil when disabled
+	queue    chan *Job
+	draining chan struct{} // closed when Close or Kill begins; aborts retry backoffs
+	sendMu   sync.RWMutex  // Submit sends under RLock; Close closes queue under Lock
+	wg       sync.WaitGroup
+	live     atomic.Int64 // currently-running worker goroutines; never shrinks below Workers
+	brk      *breaker     // per-benchmark circuit breaker; nil when disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -372,6 +390,7 @@ func New(opts Options) *Pool {
 		log:        opts.Logger,
 		journal:    opts.Journal,
 		queue:      make(chan *Job, opts.QueueDepth),
+		draining:   make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		cache:      newLRU(opts.CacheSize),
@@ -385,6 +404,9 @@ func New(opts Options) *Pool {
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
+	}
+	if opts.Store != nil {
+		p.recoverFromStore()
 	}
 	return p
 }
@@ -419,7 +441,7 @@ func (p *Pool) Get(id string) (*Job, bool) {
 // result completes the job immediately, an in-flight identical job is
 // joined. Submit blocks only when the queue is full, and fails after Close.
 func (p *Pool) Submit(spec Spec) (*Job, error) {
-	return p.submit(spec, true)
+	return p.submit(spec, true, nil)
 }
 
 // TrySubmit is Submit with load shedding: when the queue is full it fails
@@ -427,10 +449,13 @@ func (p *Pool) Submit(spec Spec) (*Job, error) {
 // it so overload surfaces as 429 + Retry-After rather than piled-up
 // handlers.
 func (p *Pool) TrySubmit(spec Spec) (*Job, error) {
-	return p.submit(spec, false)
+	return p.submit(spec, false, nil)
 }
 
-func (p *Pool) submit(spec Spec, block bool) (*Job, error) {
+// submit is the shared submission path. rs, non-nil only for store-recovered
+// jobs, attaches a cross-restart checkpoint before any worker can dequeue
+// the job.
+func (p *Pool) submit(spec Spec, block bool, rs *resume) (*Job, error) {
 	p.metrics.Submitted.Add(1)
 	key := spec.Key()
 
@@ -444,6 +469,7 @@ func (p *Pool) submit(spec Spec, block bool) (*Job, error) {
 		Key:     key,
 		Created: time.Now(),
 		spec:    spec,
+		resume:  rs,
 	}
 	p.nextID++
 
@@ -490,10 +516,13 @@ func (p *Pool) submit(spec Spec, block bool) (*Job, error) {
 		return j, nil
 	}
 
-	// This job is the leader: queue it for a worker.
+	// This job is the leader: queue it for a worker. Durable specs hit the
+	// WAL first — after the fsynced submitted record lands, a crash at any
+	// later point recovers this job.
 	j.call = c
 	p.register(j)
 	p.mu.Unlock()
+	p.recordSubmitted(j)
 	p.metrics.queueLen.Add(1)
 
 	p.sendMu.RLock()
@@ -565,6 +594,7 @@ func (p *Pool) Close(ctx context.Context) error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	close(p.draining)
 	p.sendMu.Lock()
 	close(p.queue)
 	p.sendMu.Unlock()
@@ -582,6 +612,29 @@ func (p *Pool) Close(ctx context.Context) error {
 		<-done
 		return ctx.Err()
 	}
+}
+
+// Kill hard-stops the pool without draining — the in-process equivalent of
+// kill -9 for crash-recovery tests: queued and running jobs are cancelled
+// mid-flight and their waiters released with context.Canceled. Because
+// shutdown cancellation never appends a failed record, a store-backed pool
+// reopened on the same data dir recovers those jobs and resumes them from
+// their last persisted checkpoint. Kill returns once every worker has
+// stopped; the pool is unusable afterwards.
+func (p *Pool) Kill() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.draining)
+	p.baseCancel() // cancel first: running frames stop at the next boundary
+	p.sendMu.Lock()
+	close(p.queue)
+	p.sendMu.Unlock()
+	p.wg.Wait()
 }
 
 // worker drains the queue. It is panic-isolated: any panic that escapes a
@@ -667,6 +720,7 @@ func (p *Pool) finishFailed(j *Job, err error) {
 		}
 	}
 	p.metrics.Failed.Add(1)
+	p.persistFailure(j, err)
 	j.call.finish(gpusim.Result{}, err)
 	if j.call.cancel != nil {
 		j.call.cancel()
@@ -679,6 +733,7 @@ func (p *Pool) execute(j *Job) {
 	p.metrics.Running.Add(1)
 	defer p.metrics.Running.Add(-1) // deferred: must decrement when a panic unwinds
 	j.state.Store(int32(Running))
+	p.recordStarted(j)
 
 	start := time.Now()
 	res, err := p.runWithRetry(j.call.ctx, j)
@@ -696,6 +751,7 @@ func (p *Pool) execute(j *Job) {
 		}
 		p.metrics.Completed.Add(1)
 		p.metrics.ObserveResult(res)
+		p.persistResult(j, res)
 		p.log.Debug("job done", "id", j.ID, "key", j.Key.String(),
 			"frames", len(res.Frames), "tiles_skipped", res.Total.TilesSkipped,
 			"duration", time.Since(start))
@@ -706,6 +762,7 @@ func (p *Pool) execute(j *Job) {
 			}
 		}
 		p.metrics.Failed.Add(1)
+		p.persistFailure(j, err)
 		p.log.Warn("job failed", "id", j.ID, "key", j.Key.String(),
 			"duration", time.Since(start), "err", err)
 	}
@@ -753,10 +810,15 @@ func (p *Pool) runWithRetry(ctx context.Context, j *Job) (gpusim.Result, error) 
 		}
 		p.metrics.Retries.Add(1)
 		p.log.Warn("job retrying", "id", j.ID, "attempt", attempt+1, "backoff", backoff, "err", err)
+		// Jitter the wait to ±50% so retry storms decorrelate, and abort it
+		// when the job is cancelled or the pool starts draining — a job
+		// sitting out a backoff must not stall shutdown for the full delay.
 		select {
-		case <-time.After(backoff):
+		case <-time.After(backoff/2 + time.Duration(rand.Int63n(int64(backoff)))):
 		case <-ctx.Done():
 			return res, ctx.Err()
+		case <-p.draining:
+			return res, err
 		}
 		backoff *= 2
 	}

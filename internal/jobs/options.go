@@ -6,6 +6,7 @@ import (
 
 	"rendelim/internal/fault"
 	"rendelim/internal/obs"
+	"rendelim/internal/store"
 )
 
 // Option configures a Pool built with NewPool. The zero configuration is
@@ -84,6 +85,15 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 		o.BreakerCooldown = cooldown
 	}
 }
+
+// WithStore makes job state durable: leader submissions, starts,
+// frame-boundary checkpoints, completions and terminal failures are logged
+// to the store's WAL, and the new pool replays the store's recovery set —
+// completed results re-enter the result cache and interrupted jobs are
+// resubmitted from their last persisted checkpoint. Nil keeps the pool
+// memory-only. The caller owns the store's lifecycle and must close it
+// after the pool.
+func WithStore(st *store.Store) Option { return func(o *Options) { o.Store = st } }
 
 // WithJournal routes notable job-lifecycle events (accepted, eliminated,
 // shed, panicked, breaker transitions) to the /debug/events flight

@@ -83,6 +83,11 @@ func (p *Pool) runResumable(ctx context.Context, j *Job, observe func(string, ti
 				res.Total.Add(fs)
 			}
 			p.metrics.Resumed.Add(1)
+			if j.resume.recovered {
+				// The checkpoint crossed a process restart via the store.
+				j.resume.recovered = false
+				p.opts.Store.Metrics().JobsResumed.Add(1)
+			}
 			p.log.Info("job resumed from checkpoint", "id", j.ID, "frame", start)
 		} else {
 			p.log.Warn("checkpoint rejected; restarting from frame 0", "id", j.ID, "err", rerr)
@@ -105,6 +110,9 @@ func (p *Pool) runResumable(ctx context.Context, j *Job, observe func(string, ti
 				cp:     sim.Checkpoint(),
 				frames: append([]gpusim.Stats(nil), res.Frames...),
 			}
+			// Durably persist the boundary so recovery after a process
+			// death resumes here, not at frame 0.
+			p.persistCheckpoint(j)
 		}
 	}
 	res.FBCRC = sim.FrameBufferCRC()

@@ -678,6 +678,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.pool.Metrics().WritePrometheus(w)
+	if st := s.pool.Store(); st != nil {
+		st.Metrics().WritePrometheus(w)
+	}
 	if s.cluster != nil {
 		s.cluster.WritePrometheus(w)
 	}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"rendelim/internal/crc"
+	"rendelim/internal/fault"
+	"rendelim/internal/wire"
+)
+
+// WAL framing: every record is
+//
+//	u32 payload length | u32 CRC32(payload) | payload bytes
+//
+// (little-endian, lengths capped at walMaxRecord). Records are appended with
+// write+fsync, so everything before the last fsync survives kill -9. A torn
+// tail — a partial length/CRC header, a short payload, or a CRC mismatch —
+// marks the end of the valid log: replay stops there and the file is
+// truncated back to the last good record, because a crash mid-append is an
+// expected event, not corruption worth refusing to boot over. Damage
+// *before* the tail (a CRC mismatch followed by more valid records) would
+// mean real bit rot; it is still handled tail-first because record framing
+// cannot be trusted past the first bad frame.
+const (
+	walName      = "wal.log"
+	walHeaderLen = 8
+	// walMaxRecord bounds one record's payload. Job specs reference trace
+	// uploads by blob, so records stay small; 1 MiB is generous headroom.
+	walMaxRecord = 1 << 20
+)
+
+// wal is the append side of the log. Replay happens once in openWAL; after
+// that the file is append-only until Close.
+type wal struct {
+	f     *os.File
+	fault *fault.Plan
+	m     *Metrics
+}
+
+// openWAL opens (creating if needed) dir's WAL, replays every intact
+// record into cb, truncates a torn tail, and leaves the file positioned for
+// appends.
+func openWAL(path string, plan *fault.Plan, m *Metrics, cb func(payload []byte)) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	goodEnd, err := replayWAL(f, m, cb)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate the torn tail (if any) so the next append starts at a clean
+	// frame boundary; an append after a torn tail would otherwise be
+	// unreachable forever.
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek wal: %w", err)
+	}
+	if size > goodEnd {
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+		if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: seek wal: %w", err)
+		}
+		m.TornTailTruncations.Add(1)
+		m.TornTailBytes.Add(uint64(size - goodEnd))
+	}
+	return &wal{f: f, fault: plan, m: m}, nil
+}
+
+// replayWAL scans the log from the start, invoking cb for every intact
+// record, and returns the offset just past the last good one.
+func replayWAL(f *os.File, m *Metrics, cb func([]byte)) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: seek wal: %w", err)
+	}
+	var off int64
+	hdr := make([]byte, walHeaderLen)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			// Clean EOF ends the log; a partial header is a torn tail.
+			return off, nil
+		}
+		r := wire.NewReader(hdr)
+		length, sum := r.U32(), r.U32()
+		if length > walMaxRecord {
+			return off, nil // implausible length: treat as torn/corrupt tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, nil // short payload: torn tail
+		}
+		if crc.Checksum(payload) != sum {
+			return off, nil // bad CRC: torn or bit-flipped tail
+		}
+		cb(payload)
+		m.RecordsReplayed.Add(1)
+		off += walHeaderLen + int64(length)
+	}
+}
+
+// append frames, writes and fsyncs one record. An error leaves the file
+// position where it was so the next append overwrites the partial frame —
+// the same recovery a restart would perform.
+func (w *wal) append(payload []byte) error {
+	if len(payload) > walMaxRecord {
+		return fmt.Errorf("store: wal record of %d bytes exceeds %d-byte cap", len(payload), walMaxRecord)
+	}
+	buf := make([]byte, 0, walHeaderLen+len(payload))
+	buf = wire.AppendU32(buf, uint32(len(payload)))
+	buf = wire.AppendU32(buf, crc.Checksum(payload))
+	buf = append(buf, payload...)
+
+	pos, err := w.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("store: wal position: %w", err)
+	}
+	rewind := func() {
+		// Best effort: cut the partial frame so the log stays parseable
+		// without relying on the next boot's torn-tail scan.
+		_ = w.f.Truncate(pos)
+		_, _ = w.f.Seek(pos, io.SeekStart)
+	}
+	if ferr := w.fault.Check(fault.SiteStoreWrite); ferr != nil {
+		w.m.WriteErrors.Add(1)
+		return fmt.Errorf("store: wal write: %w", ferr)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.m.WriteErrors.Add(1)
+		rewind()
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	if ferr := w.fault.Check(fault.SiteStoreSync); ferr != nil {
+		w.m.SyncErrors.Add(1)
+		rewind()
+		return fmt.Errorf("store: wal sync: %w", ferr)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.m.SyncErrors.Add(1)
+		rewind()
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	w.m.RecordsAppended.Add(1)
+	return nil
+}
+
+// close releases the file handle. Appends already fsynced per record, so
+// close adds no durability.
+func (w *wal) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	if err != nil && !errors.Is(err, os.ErrClosed) {
+		return fmt.Errorf("store: close wal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayed reopens the WAL at path and returns every intact payload.
+func replayed(t *testing.T, path string, m *Metrics) [][]byte {
+	t.Helper()
+	var got [][]byte
+	w, err := openWAL(path, nil, m, func(p []byte) {
+		got = append(got, append([]byte(nil), p...))
+	})
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	t.Cleanup(func() { w.close() })
+	return got
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, nil, newMetrics(), func([]byte) { t.Fatal("fresh wal replayed a record") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", `{"t":"submitted","key":"k"}`, ""}
+	for _, p := range want {
+		if err := w.append([]byte(p)); err != nil {
+			t.Fatalf("append(%q): %v", p, err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newMetrics()
+	got := replayed(t, path, m)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if string(p) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, p, want[i])
+		}
+	}
+	if n := m.TornTailTruncations.Load(); n != 0 {
+		t.Fatalf("clean log reported %d torn-tail truncations", n)
+	}
+	if n := m.RecordsReplayed.Load(); n != uint64(len(want)) {
+		t.Fatalf("RecordsReplayed = %d, want %d", n, len(want))
+	}
+}
+
+// A crash mid-append leaves a partial frame; the next open must replay
+// everything before it, truncate the tail, quantify the damage, and accept
+// new appends at the clean boundary.
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, nil, newMetrics(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"one", "two"} {
+		if err := w.append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+
+	// Tear the tail: a torn header plus garbage, as if the process died
+	// mid-write.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	intactSize, _ := os.Stat(path)
+
+	m := newMetrics()
+	got := replayed(t, path, m)
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("replay after torn tail = %q, want [one two]", got)
+	}
+	if n := m.TornTailTruncations.Load(); n != 1 {
+		t.Fatalf("TornTailTruncations = %d, want 1", n)
+	}
+	if n := m.TornTailBytes.Load(); n != uint64(len(torn)) {
+		t.Fatalf("TornTailBytes = %d, want %d", n, len(torn))
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != intactSize.Size()-int64(len(torn)) {
+		t.Fatalf("file not truncated back to last good record: %d bytes", st.Size())
+	}
+}
+
+// A bit flip in the last record's payload fails its CRC: replay keeps the
+// prefix, drops the flipped record, and truncates.
+func TestWALBitFlippedTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, nil, newMetrics(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"keep-me", "flip-me"} {
+		if err := w.append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x04 // inside "flip-me"'s payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newMetrics()
+	got := replayed(t, path, m)
+	if len(got) != 1 || string(got[0]) != "keep-me" {
+		t.Fatalf("replay after bit flip = %q, want [keep-me]", got)
+	}
+	if n := m.TornTailTruncations.Load(); n != 1 {
+		t.Fatalf("TornTailTruncations = %d, want 1", n)
+	}
+}
+
+// After a torn-tail recovery the log must keep working: new appends land at
+// the truncation point and survive the next replay.
+func TestWALAppendAfterRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, nil, newMetrics(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.append([]byte("before"))
+	w.close()
+
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	f.Write([]byte{0xff, 0xff}) // torn header
+	f.Close()
+
+	w2, err := openWAL(path, nil, newMetrics(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+
+	got := replayed(t, path, newMetrics())
+	if len(got) != 2 || string(got[0]) != "before" || string(got[1]) != "after" {
+		t.Fatalf("replay = %q, want [before after]", got)
+	}
+}
+
+// An implausibly large length field ends replay the same way a torn header
+// does — without attempting the allocation.
+func TestWALImplausibleLengthEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, nil, newMetrics(), func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.append([]byte("good"))
+	w.close()
+
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	f.Write([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // length = ~2 GiB
+	f.Close()
+
+	got := replayed(t, path, newMetrics())
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("replay = %q, want [good]", got)
+	}
+}

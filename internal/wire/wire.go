@@ -1,0 +1,218 @@
+// Package wire provides the length-checked little-endian binary primitives
+// the durability layer is built from: checkpoint snapshots
+// (internal/gpusim), their per-subsystem sub-codecs (internal/dram,
+// internal/cache) and the on-disk store framing (internal/store) all encode
+// through the same Append* helpers and decode through the same error-latching
+// Reader, so torn or corrupted bytes surface as a typed error instead of a
+// panic or a multi-gigabyte allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated is wrapped by every Reader failure caused by running out of
+// bytes — the signature of a torn write.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrCorrupt is wrapped by Reader failures caused by implausible values
+// (e.g. a slice length exceeding the remaining input).
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendBool appends a bool as one byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendU16 appends a little-endian uint16.
+func AppendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends a little-endian uint64.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendI64 appends a little-endian int64.
+func AppendI64(b []byte, v int64) []byte { return AppendU64(b, uint64(v)) }
+
+// AppendF32 appends a float32 by bit pattern.
+func AppendF32(b []byte, v float32) []byte { return AppendU32(b, math.Float32bits(v)) }
+
+// AppendBytes appends a u32 length prefix followed by the bytes.
+func AppendBytes(b, v []byte) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// AppendString appends a u32 length prefix followed by the string bytes.
+func AppendString(b []byte, v string) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// AppendU32s appends a u32 length prefix followed by the values.
+func AppendU32s(b []byte, v []uint32) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendU32(b, x)
+	}
+	return b
+}
+
+// AppendBools appends a u32 length prefix followed by one byte per value.
+func AppendBools(b []byte, v []bool) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendBool(b, x)
+	}
+	return b
+}
+
+// Reader consumes a byte slice with latched errors: after the first failure
+// every subsequent read returns the zero value, and Err reports what went
+// wrong, so decode paths read straight through and check once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first error the reader hit, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+// fail latches the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// take returns the next n bytes, or nil after latching an error.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.b)))
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if v := r.take(1); v != nil {
+		return v[0]
+	}
+	return 0
+}
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if v := r.take(2); v != nil {
+		return binary.LittleEndian.Uint16(v)
+	}
+	return 0
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if v := r.take(4); v != nil {
+		return binary.LittleEndian.Uint32(v)
+	}
+	return 0
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if v := r.take(8); v != nil {
+		return binary.LittleEndian.Uint64(v)
+	}
+	return 0
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F32 reads a float32 by bit pattern.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// sliceLen reads a u32 length prefix and validates it against the remaining
+// input, assuming each element occupies at least elemSize bytes. This is the
+// guard that keeps a corrupted length field from allocating unbounded
+// memory.
+func (r *Reader) sliceLen(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > r.Len() {
+		r.fail(fmt.Errorf("%w: slice length %d exceeds %d remaining bytes", ErrCorrupt, n, r.Len()))
+		return 0
+	}
+	return n
+}
+
+// Bytes reads a u32-length-prefixed byte slice (copied out of the input).
+func (r *Reader) Bytes() []byte {
+	n := r.sliceLen(1)
+	v := r.take(n)
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// String reads a u32-length-prefixed string.
+func (r *Reader) String() string {
+	n := r.sliceLen(1)
+	v := r.take(n)
+	return string(v)
+}
+
+// U32s reads a u32-length-prefixed []uint32.
+func (r *Reader) U32s() []uint32 {
+	n := r.sliceLen(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.U32()
+	}
+	return out
+}
+
+// Bools reads a u32-length-prefixed []bool.
+func (r *Reader) Bools() []bool {
+	n := r.sliceLen(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Bool()
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendU8(b, 0xab)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendU16(b, 0xbeef)
+	b = AppendU32(b, 0xdeadbeef)
+	b = AppendU64(b, 1<<63|42)
+	b = AppendI64(b, -7)
+	b = AppendF32(b, 3.25)
+	b = AppendBytes(b, []byte("blob"))
+	b = AppendString(b, "name")
+	b = AppendU32s(b, []uint32{1, 2, 3})
+	b = AppendBools(b, []bool{true, false, true})
+
+	r := NewReader(b)
+	if v := r.U8(); v != 0xab {
+		t.Errorf("U8 = %#x", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if v := r.U16(); v != 0xbeef {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 1<<63|42 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := r.I64(); v != -7 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := r.F32(); v != 3.25 {
+		t.Errorf("F32 = %g", v)
+	}
+	if v := r.Bytes(); string(v) != "blob" {
+		t.Errorf("Bytes = %q", v)
+	}
+	if v := r.String(); v != "name" {
+		t.Errorf("String = %q", v)
+	}
+	if v := r.U32s(); len(v) != 3 || v[0] != 1 || v[2] != 3 {
+		t.Errorf("U32s = %v", v)
+	}
+	if v := r.Bools(); len(v) != 3 || !v[0] || v[1] {
+		t.Errorf("Bools = %v", v)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("leftover %d bytes", r.Len())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	b := AppendU64(nil, 99)
+	r := NewReader(b[:5])
+	if v := r.U64(); v != 0 {
+		t.Errorf("truncated U64 = %d, want 0", v)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// The error latches: later reads stay zero with the same error.
+	if v := r.U32(); v != 0 {
+		t.Errorf("post-error U32 = %d", v)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("latched Err = %v", r.Err())
+	}
+}
+
+func TestHostileLength(t *testing.T) {
+	// A length field claiming 1 GiB of uint32s with 4 bytes of payload must
+	// fail with ErrCorrupt, not allocate.
+	b := AppendU32(nil, 1<<28)
+	b = AppendU32(b, 7)
+	r := NewReader(b)
+	if v := r.U32s(); v != nil {
+		t.Errorf("hostile U32s = %v", v)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+}
