@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // compareReports is the perf gate: it loads two rebench reports, matches
@@ -70,7 +71,18 @@ func compareReports(stdout *os.File, oldPath, newPath string, maxRegress float64
 		}
 		fmt.Fprintln(stdout)
 	}
+	// Sorted so the report is byte-stable run to run (map order is random).
+	gone := make([]key, 0, len(oldRuns))
 	for k := range oldRuns {
+		gone = append(gone, k)
+	}
+	sort.Slice(gone, func(i, j int) bool {
+		if gone[i].alias != gone[j].alias {
+			return gone[i].alias < gone[j].alias
+		}
+		return gone[i].tech < gone[j].tech
+	})
+	for _, k := range gone {
 		fmt.Fprintf(stdout, "GONE  %-4s %-5s (in baseline only)\n", k.alias, k.tech)
 	}
 

@@ -108,10 +108,11 @@ func run(args []string) error {
 
 	want := map[string]bool{}
 	if *figs != "all" {
+		// Validate in argument order, not map order: with several unknown
+		// ids the reported one used to follow randomized map iteration.
 		for _, f := range strings.Split(*figs, ",") {
-			want[strings.TrimSpace(f)] = true
-		}
-		for f := range want {
+			f = strings.TrimSpace(f)
+			want[f] = true
 			found := false
 			for _, fig := range all {
 				if fig.id == f {

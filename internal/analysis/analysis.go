@@ -1,0 +1,251 @@
+// Package analysis is a self-contained static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, scoped to what the relint suite needs. The
+// repo builds offline with no module dependencies, so the x/tools driver
+// cannot be vendored; this package provides the same shape — an Analyzer
+// with a Run(*Pass) hook reporting Diagnostics against a type-checked
+// package — plus the //lint:ignore suppression directive the repo's
+// deliberate exceptions use.
+//
+// The relint analyzers enforce invariants that otherwise only fail at
+// runtime, sometimes flakily, in long CI soaks:
+//
+//	nodeterm     no wall clock, global rand, or unordered map iteration in
+//	             deterministic (signature-feeding) packages
+//	hotpathalloc no allocating constructs in //re:hotpath functions
+//	fsyncorder   snapshot-publishing renames are fsync-dominated
+//	errwrapre    boundary errors keep their sentinel chain (%w, not %v)
+//	metricconv   Prometheus names/suffixes/labels stay parseable
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run executes the analyzers against pkg, filters findings through the
+// package's //lint:ignore directives, and returns the surviving diagnostics
+// sorted by position.
+func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if !pkg.ignored(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// directive is one parsed //lint:ignore suppression.
+type directive struct {
+	file     string
+	line     int
+	checks   []string // analyzer names the suppression applies to
+	hasWhy   bool     // a justification is required; bare ignores do not count
+	fileWide bool     // //lint:file-ignore applies to the whole file
+}
+
+// parseDirectives extracts //lint:ignore and //lint:file-ignore comments.
+//
+//	//lint:ignore nodeterm quarantine moves already-damaged bytes aside
+//	//lint:file-ignore metricconv generated table
+//
+// An ignore suppresses matching diagnostics on its own line or the line
+// directly below (so it can sit above the flagged statement, the common
+// staticcheck placement). A directive without a justification is ignored —
+// exceptions must say why.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				var fileWide bool
+				switch {
+				case strings.HasPrefix(text, "lint:ignore "):
+					text = strings.TrimPrefix(text, "lint:ignore ")
+				case strings.HasPrefix(text, "lint:file-ignore "):
+					text = strings.TrimPrefix(text, "lint:file-ignore ")
+					fileWide = true
+				default:
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, directive{
+					file:     pos.Filename,
+					line:     pos.Line,
+					checks:   strings.Split(fields[0], ","),
+					hasWhy:   len(fields) > 1,
+					fileWide: fileWide,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ignored reports whether a diagnostic from analyzer name at pos is
+// suppressed by a directive.
+func (pkg *Package) ignored(name string, pos token.Position) bool {
+	for _, d := range pkg.directives {
+		if !d.hasWhy || d.file != pos.Filename {
+			continue
+		}
+		if !d.fileWide && d.line != pos.Line && d.line != pos.Line-1 {
+			continue
+		}
+		for _, c := range d.checks {
+			if c == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- shared type/AST helpers used by more than one analyzer ---
+
+// PkgFunc resolves a call target of the form pkgname.Func where pkgname is
+// an imported package; it returns the package path and function name.
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPkg := info.Uses[id].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsMap reports whether e's static type is (or aliases) a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// IsErrorType reports whether t implements the error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// ConstString returns e's compile-time string value, following constants
+// and simple idents, or "", false.
+func ConstString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if s := tv.Value.String(); len(s) >= 2 && s[0] == '"' {
+		// constant.Value.String() quotes strings; unquote conservatively
+		// via ExactString semantics (values are valid Go literals).
+		var out string
+		if _, err := fmt.Sscanf(s, "%q", &out); err == nil {
+			return out, true
+		}
+	}
+	return "", false
+}
+
+// FuncDocHasMarker reports whether the function's doc comment (or a comment
+// group immediately above it) contains the given marker line, e.g.
+// "//re:hotpath".
+func FuncDocHasMarker(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}

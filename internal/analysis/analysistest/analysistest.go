@@ -1,0 +1,135 @@
+// Package analysistest runs a relint analyzer over a testdata package and
+// checks its diagnostics against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the in-repo framework.
+//
+// A testdata package is a plain directory of Go files (std-library imports
+// only; it is not part of the module build because it lives under
+// testdata/). Every line that should be flagged carries a want comment:
+//
+//	for k := range m { // want `map iteration order is random`
+//
+// A line may carry several quoted regexes when several diagnostics are
+// expected. Diagnostics on lines without a want comment fail the test, so
+// the same packages double as negative cases: idiomatic patterns the
+// analyzer must NOT flag simply appear without want comments.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rendelim/internal/analysis"
+)
+
+// expectation is one `// want` regex at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the package rooted at dir, applies the analyzer, and compares
+// findings with the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range quotedStrings(text[len("want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if w := match(wants, d); w != nil {
+			w.met = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic %s", d)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// match finds an unmet expectation for the diagnostic's position.
+func match(wants []*expectation, d analysis.Diagnostic) *expectation {
+	for _, w := range wants {
+		if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// quotedStrings extracts the Go-quoted or backquoted strings from a want
+// comment tail.
+func quotedStrings(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		default:
+			// Stop at the first non-string token (trailing prose).
+			return out
+		}
+	}
+}
+
+// Dir returns the testdata directory for the named case relative to the
+// analyzer's package directory.
+func Dir(elem ...string) string {
+	return filepath.Join(append([]string{"testdata"}, elem...)...)
+}

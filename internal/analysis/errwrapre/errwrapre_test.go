@@ -1,0 +1,22 @@
+package errwrapre_test
+
+import (
+	"testing"
+
+	"rendelim/internal/analysis/analysistest"
+	"rendelim/internal/analysis/errwrapre"
+)
+
+// TestBoundaryRules covers both violation shapes (%v-flattened chain,
+// in-function errors.New), the allowed idioms (direct %w, the
+// "%w: ...: %v" sentinel wrap, package-level sentinels), and directive
+// suppression — all in a package named like a boundary package.
+func TestBoundaryRules(t *testing.T) {
+	analysistest.Run(t, errwrapre.Analyzer, analysistest.Dir("server"))
+}
+
+// TestNonBoundaryPackagesAreExempt confirms the analyzer keys on the
+// boundary package names and stays silent elsewhere.
+func TestNonBoundaryPackagesAreExempt(t *testing.T) {
+	analysistest.Run(t, errwrapre.Analyzer, analysistest.Dir("helper"))
+}

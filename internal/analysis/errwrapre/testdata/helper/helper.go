@@ -1,0 +1,18 @@
+// Package helper is errwrapre negative testdata: outside the boundary
+// packages the analyzer is silent, even for constructs it would flag there.
+package helper
+
+import (
+	"errors"
+	"fmt"
+)
+
+// flattenFreely is fine here: internal helpers may flatten; only the
+// boundary packages feed statusForError.
+func flattenFreely(err error) error {
+	return fmt.Errorf("internal detail: %v", err)
+}
+
+func dynamicFreely() error {
+	return errors.New("scratch error")
+}

@@ -1,0 +1,55 @@
+// Package server is errwrapre testdata: the analyzer applies to boundary
+// package names (jobs, server, cluster), mirroring the real HTTP surface.
+package server
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are exactly the intended use of errors.New.
+var (
+	errBadSpec   = errors.New("bad spec")
+	errExhausted = errors.New("queue exhausted")
+)
+
+// flatten loses the chain: %v swallows the sentinel and statusForError
+// can no longer classify the error.
+func flatten(err error) error {
+	return fmt.Errorf("decoding spec: %v", err) // want `fmt.Errorf flattens an error with no %w`
+}
+
+// flattenString loses the chain via %s just the same.
+func flattenString(err error) error {
+	return fmt.Errorf("forwarding: %s", err) // want `fmt.Errorf flattens an error with no %w`
+}
+
+// wrap keeps the chain with a direct %w.
+func wrap(err error) error {
+	return fmt.Errorf("decoding spec: %w", err)
+}
+
+// wrapSentinel is the repo idiom: wrap the sentinel with %w, flatten the
+// cause with %v. The %w is what statusForError follows.
+func wrapSentinel(err error) error {
+	return fmt.Errorf("%w: decoding spec: %v", errBadSpec, err)
+}
+
+// dynamic creates an unclassifiable error mid-function.
+func dynamic(n int) error {
+	if n > 8 {
+		return errors.New("too many replicas") // want `errors.New inside a boundary function`
+	}
+	return nil
+}
+
+// suppressed documents a deliberate dynamic error.
+func suppressed() error {
+	//lint:ignore errwrapre panic-recovery text is diagnostic only and never reaches status mapping
+	return errors.New("recovered from panic")
+}
+
+// noErrorArgs formats only plain values; nothing to preserve.
+func noErrorArgs(name string, n int) error {
+	return fmt.Errorf("%w: benchmark %q needs %d frames", errBadSpec, name, n)
+}

@@ -1,0 +1,112 @@
+// Package fsyncorder checks the torn-write discipline of the durability
+// layer (internal/store): an os.Rename that publishes a snapshot must be
+// dominated by a Sync on the temp file, and the rename itself must be made
+// durable by a directory fsync afterwards.
+//
+// The store's atomic-publish protocol (PR 9) is write-temp → fsync(temp) →
+// rename → fsync(dir). Skip the first fsync and a crash can publish a file
+// whose name is durable but whose bytes are not — exactly the torn write
+// the protocol exists to prevent; skip the second and the rename itself may
+// vanish on power loss. The crash soaks catch this at runtime with injected
+// faults; this analyzer catches it in review.
+//
+// Within each function in the store package, every os.Rename call must
+// have:
+//
+//   - a preceding `.Sync()` call (on the temp *os.File) earlier in the
+//     same function, and
+//   - a following directory sync — either the package's syncDir helper or
+//     another `.Sync()` — later in the same function.
+//
+// Renames that do not publish new bytes (e.g. quarantining an
+// already-damaged snapshot aside) are deliberate exceptions and carry
+// `//lint:ignore fsyncorder <why>`.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"rendelim/internal/analysis"
+)
+
+// Analyzer is the fsyncorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncorder",
+	Doc:  "snapshot-publishing renames must be fsync-dominated and followed by a directory sync",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "store" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var renames []token.Pos // os.Rename call positions
+	var syncs []token.Pos   // .Sync() method calls
+	var dirSyncs []token.Pos
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := analysis.PkgFunc(pass.TypesInfo, call); ok {
+			if pkg == "os" && name == "Rename" {
+				renames = append(renames, call.Pos())
+			}
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Sync" && len(call.Args) == 0 {
+				syncs = append(syncs, call.Pos())
+			}
+		case *ast.Ident:
+			if fun.Name == "syncDir" {
+				dirSyncs = append(dirSyncs, call.Pos())
+			}
+		}
+		return true
+	})
+
+	for _, r := range renames {
+		if !anyBefore(syncs, r) {
+			pass.Reportf(r, "os.Rename publishes without a preceding Sync on the temp file: a crash can expose a durable name over non-durable bytes")
+			continue
+		}
+		if !anyAfter(dirSyncs, r) && !anyAfter(syncs, r) {
+			pass.Reportf(r, "os.Rename is not followed by a directory sync (syncDir): the rename itself may not survive power loss")
+		}
+	}
+}
+
+func anyBefore(positions []token.Pos, p token.Pos) bool {
+	for _, q := range positions {
+		if q < p {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAfter(positions []token.Pos, p token.Pos) bool {
+	for _, q := range positions {
+		if q > p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"rendelim/internal/analysis/analysistest"
+	"rendelim/internal/analysis/fsyncorder"
+)
+
+// TestRenameDiscipline covers the full good protocol (temp Sync, rename,
+// syncDir), both violation shapes (missing temp Sync, missing directory
+// sync), the inline directory-handle Sync variant, and the directive-
+// suppressed quarantine exception.
+func TestRenameDiscipline(t *testing.T) {
+	analysistest.Run(t, fsyncorder.Analyzer, analysistest.Dir("store"))
+}

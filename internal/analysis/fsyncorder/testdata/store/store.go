@@ -1,0 +1,97 @@
+// Package store is fsyncorder testdata: the analyzer applies to this
+// package name only, mirroring internal/store's publish protocol.
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// publish is the full, correct protocol: write temp, fsync temp, rename,
+// fsync directory. Nothing is flagged.
+func publish(path string, body []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(body); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// noTempSync skips the fsync before renaming: the rename can publish a
+// durable name over non-durable bytes.
+func noTempSync(path string, body []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(body); err != nil {
+		return err
+	}
+	tmp.Close()
+	if err := os.Rename(tmp.Name(), path); err != nil { // want `os.Rename publishes without a preceding Sync`
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// noDirSync renames durable bytes but never makes the rename durable.
+func noDirSync(path string, body []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(body); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	tmp.Close()
+	return os.Rename(tmp.Name(), path) // want `os.Rename is not followed by a directory sync`
+}
+
+// quarantineLike is the deliberate exception: moving an already-damaged
+// file aside publishes no new bytes, and the directive says why.
+func quarantineLike(path string) {
+	//lint:ignore fsyncorder moving damaged bytes aside needs no durability; a lost move re-quarantines next boot
+	os.Rename(path, path+".quarantined")
+}
+
+// inlineDirSync uses a plain directory handle Sync instead of the helper;
+// the trailing .Sync() counts.
+func inlineDirSync(path string, tmp *os.File) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

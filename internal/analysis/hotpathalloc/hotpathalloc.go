@@ -1,0 +1,249 @@
+// Package hotpathalloc statically flags allocating constructs in functions
+// annotated `//re:hotpath`.
+//
+// The frame loop is allocation-free in steady state (PR 7): per-frame state
+// lives in arenas that retain capacity across frames, and the alloc-budget
+// tests (TestAllocs* in internal/gpusim) enforce 0 allocs/frame at runtime.
+// Those tests only fail after the code runs; this analyzer is their static
+// companion — it makes every construct that *could* allocate visible at the
+// line where it is introduced, so a careless edit fails `relint` instead of
+// a CI soak.
+//
+// In a function whose doc comment contains a `//re:hotpath` line, the
+// following are flagged:
+//
+//   - make() of a map, slice, or channel, and new(T) — except the arena
+//     warm-up idiom `if cap(x) < n { x = make(...) }`, which grows a
+//     capacity-retaining buffer once and is allocation-free in steady state
+//   - composite literals of map or slice type (struct and array literals
+//     are stack-friendly and allowed)
+//   - func literals (closure allocation) and `go` / `defer` statements
+//   - string(bytes) / []byte(string) / []rune(string) conversions
+//   - append, unless the call is visibly growth-safe: either it reuses the
+//     backing array (`x = append(x[:0], ...)`) or the site is annotated
+//     `//re:arena` on its own line or the line above, asserting that the
+//     destination's capacity is arena-managed. The annotation keeps
+//     growth-capable appends explicit in review.
+//
+// The marker is a contract, not a heuristic: annotate the zero-alloc
+// steady-state functions only (decide/render/commit tile paths, the serial
+// frame loop), not per-frame coordinators that are budgeted a few
+// allocations. Deliberate exceptions carry `//lint:ignore hotpathalloc
+// <why>`.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rendelim/internal/analysis"
+)
+
+// Marker is the doc-comment line that opts a function into enforcement.
+const Marker = "//re:hotpath"
+
+// arenaMarker asserts that an append destination's capacity is
+// arena-managed and cannot grow in steady state.
+const arenaMarker = "//re:arena"
+
+// Analyzer is the hotpathalloc rule set.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //re:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		arenaLines := arenaAnnotatedLines(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncDocHasMarker(fn, Marker) {
+				continue
+			}
+			checkFunc(pass, fn, arenaLines)
+		}
+	}
+	return nil
+}
+
+// arenaAnnotatedLines collects the line numbers carrying //re:arena.
+func arenaAnnotatedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == arenaMarker ||
+				strings.HasPrefix(strings.TrimSpace(c.Text), arenaMarker+" ") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, arenaLines map[int]bool) {
+	warmup := warmupMakes(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in a //re:hotpath function allocates a goroutine")
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in a //re:hotpath function can allocate; hoist cleanup out of the hot path")
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in a //re:hotpath function may allocate a closure")
+			return false // contents belong to the closure, not this hot path
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in a //re:hotpath function")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in a //re:hotpath function")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, arenaLines, warmup)
+		}
+		return true
+	})
+}
+
+// warmupMakes finds make() calls in the cap-guarded grow idiom
+//
+//	if cap(x) < n { x = make(T, ...) }
+//
+// which allocates only until the arena buffer reaches its high-water
+// capacity and is steady-state free.
+func warmupMakes(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.LSS {
+			return true
+		}
+		capCall, ok := cond.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := capCall.Fun.(*ast.Ident); !ok || id.Name != "cap" {
+			return true
+		}
+		guarded := exprString(capCall.Args[0])
+		if guarded == "" {
+			return true
+		}
+		for _, st := range ifStmt.Body.List {
+			asg, ok := st.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				continue
+			}
+			mk, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := mk.Fun.(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if exprString(asg.Lhs[0]) == guarded {
+				out[mk] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprString renders simple ident/selector chains for structural equality.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	default:
+		return ""
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, arenaLines map[int]bool, warmup map[*ast.CallExpr]bool) {
+	// Allocating conversions: string <-> []byte / []rune copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isStringBytesConv(tv.Type, pass.TypesInfo.Types[call.Args[0]].Type) {
+			pass.Reportf(call.Pos(), "string/byte-slice conversion copies in a //re:hotpath function")
+		}
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || obj == nil {
+		return
+	}
+	switch id.Name {
+	case "new":
+		pass.Reportf(call.Pos(), "new() allocates in a //re:hotpath function")
+	case "make":
+		if warmup[call] {
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map, *types.Slice, *types.Chan:
+				pass.Reportf(call.Pos(), "make() allocates in a //re:hotpath function")
+			}
+		}
+	case "append":
+		if appendReusesBacking(call) {
+			return
+		}
+		line := pass.Fset.Position(call.Pos()).Line
+		if arenaLines[line] || arenaLines[line-1] {
+			return
+		}
+		pass.Reportf(call.Pos(), "append may grow its backing array in a //re:hotpath function; reuse capacity (x = append(x[:0], ...)) or annotate the site //re:arena")
+	}
+}
+
+// appendReusesBacking recognizes append(x[:0], ...) — truncation that keeps
+// the backing array, so steady-state calls stay allocation-free.
+func appendReusesBacking(call *ast.CallExpr) bool {
+	sl, ok := call.Args[0].(*ast.SliceExpr)
+	if !ok || sl.High == nil {
+		return false
+	}
+	hi, ok := sl.High.(*ast.BasicLit)
+	return ok && hi.Value == "0" && sl.Low == nil
+}
+
+// isStringBytesConv reports a conversion between string and []byte/[]rune.
+func isStringBytesConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,15 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"rendelim/internal/analysis/analysistest"
+	"rendelim/internal/analysis/hotpathalloc"
+)
+
+// TestHotPathRules covers every allocating construct in annotated
+// functions, plus the allowed arena idioms (cap-guarded warm-up make,
+// truncating re-append, //re:arena sites) and unannotated functions.
+func TestHotPathRules(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, analysistest.Dir("hot"))
+}

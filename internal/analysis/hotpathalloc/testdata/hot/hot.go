@@ -1,0 +1,76 @@
+// Package hot is hotpathalloc testdata: allocating constructs in
+// //re:hotpath functions, and the arena idioms that are allowed.
+package hot
+
+type arena struct {
+	buf   []byte
+	items []int
+}
+
+// hot is the annotated steady-state function every rule applies to.
+//
+//re:hotpath
+func hot(a *arena, n int) {
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	s := []int{1, 2, 3} // want `slice literal allocates`
+	_ = s
+	p := new(arena) // want `new\(\) allocates`
+	_ = p
+	q := make([]byte, n) // want `make\(\) allocates`
+	_ = q
+	f := func() int { return n } // want `func literal .* may allocate a closure`
+	_ = f
+	a.items = append(a.items, n) // want `append may grow its backing array`
+	b := []byte("hello")         // want `string/byte-slice conversion copies`
+	_ = b
+	go helper() // want `go statement in a //re:hotpath function`
+}
+
+//re:hotpath
+func hotDefer(a *arena) {
+	defer helper() // want `defer in a //re:hotpath function`
+}
+
+// Negative: the arena warm-up idiom grows once to high-water capacity.
+//
+//re:hotpath
+func warmup(a *arena, n int) []byte {
+	if cap(a.buf) < n {
+		a.buf = make([]byte, n)
+	}
+	return a.buf[:n]
+}
+
+// Negative: truncating re-append reuses the backing array.
+//
+//re:hotpath
+func reuse(a *arena, n int) {
+	a.items = append(a.items[:0], n)
+}
+
+// Negative: an annotated arena append is a declared contract.
+//
+//re:hotpath
+func arenaAppend(a *arena, n int) {
+	//re:arena
+	a.items = append(a.items, n)
+}
+
+// Negative: struct and array literals are stack-friendly.
+//
+//re:hotpath
+func valueLits() (arena, [4]int) {
+	return arena{}, [4]int{1, 2, 3, 4}
+}
+
+// Negative: unannotated functions may allocate freely.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func helper() {}

@@ -1,0 +1,222 @@
+// Package metricconv enforces the Prometheus naming conventions of the
+// hand-rolled /metrics surface, so restat and the strict promtext parser
+// keep working against every node.
+//
+// The repo does not use the Prometheus client library; names, HELP/TYPE
+// headers and label sets are assembled by hand in several packages (jobs,
+// store, cluster, server). The conventions that keep that surface coherent
+// and PromQL-friendly:
+//
+//   - every metric is named resvc_* with [a-z0-9_] words (no camelCase, no
+//     double underscores, nothing trailing)
+//   - counters end in _total (rate() semantics)
+//   - gauges do not end in _total
+//   - histograms end in a unit suffix: _seconds (latencies) or _ratio
+//     (the per-frame elimination distribution)
+//   - label names come from the fixed vocabulary restat knows how to
+//     aggregate: benchmark, stage, class, peer, route, status, le
+//
+// The analyzer recognizes the repo's three emission idioms: local
+// counter/gauge*/histogram helper closures taking the name as their first
+// argument; fmt.Fprintf formats containing `# TYPE <name> <kind>` headers
+// (with the name inline or as a constant %s argument); and
+// Histogram.WritePrometheus(w, name, labels) calls. Deliberate exceptions
+// carry `//lint:ignore metricconv <why>`.
+package metricconv
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"rendelim/internal/analysis"
+)
+
+// Analyzer is the metricconv rule set.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricconv",
+	Doc:  "Prometheus metric names, suffixes and labels must follow the resvc_* conventions",
+	Run:  run,
+}
+
+// allowedLabels is the label vocabulary restat aggregates over.
+var allowedLabels = map[string]bool{
+	"benchmark": true, "stage": true, "class": true,
+	"peer": true, "route": true, "status": true, "le": true,
+}
+
+var (
+	nameRE     = regexp.MustCompile(`^resvc_[a-z0-9]+(_[a-z0-9]+)*$`)
+	typeLineRE = regexp.MustCompile(`# TYPE (\S+) (counter|gauge|histogram|summary|untyped)`)
+	// labelRE matches one label assignment inside a sample or format
+	// fragment: peer=%q, status="%d", stage="shade".
+	labelRE = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)=(?:%q|")`)
+	// sampleRE finds labeled sample names in literals: resvc_foo{bar=...
+	sampleRE = regexp.MustCompile(`(resvc_[A-Za-z0-9_]*)\{([^}]*)`)
+)
+
+// helperKinds maps the local emission-helper names to the metric kind they
+// declare.
+var helperKinds = map[string]string{
+	"counter": "counter", "counterF": "counter",
+	"gauge": "gauge", "gaugeF": "gauge", "gaugeI": "gauge", "gaugeU": "gauge",
+	"histogram": "histogram",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BasicLit:
+				if n.Kind == token.STRING {
+					checkLiteral(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// counter("resvc_x_total", help, v) helper-closure idiom.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if kind, isHelper := helperKinds[id.Name]; isHelper && len(call.Args) >= 1 {
+			if name, ok := analysis.ConstString(pass.TypesInfo, call.Args[0]); ok && strings.HasPrefix(name, "resvc_") {
+				checkName(pass, call.Args[0].Pos(), name, kind)
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// hist.WritePrometheus(w, name, labels): histogram by construction.
+	if sel.Sel.Name == "WritePrometheus" && len(call.Args) == 3 {
+		if name, ok := analysis.ConstString(pass.TypesInfo, call.Args[1]); ok && strings.HasPrefix(name, "resvc_") {
+			checkName(pass, call.Args[1].Pos(), name, "histogram")
+		}
+		checkLabelArg(pass, call.Args[2])
+		return
+	}
+	// expvar.Publish("resvc_x", ...): name charset only (kind unknown).
+	if pkg, fn, ok := analysis.PkgFunc(pass.TypesInfo, call); ok && pkg == "expvar" && fn == "Publish" && len(call.Args) >= 1 {
+		if name, ok := analysis.ConstString(pass.TypesInfo, call.Args[0]); ok && strings.HasPrefix(name, "resvc_") {
+			checkName(pass, call.Args[0].Pos(), name, "")
+		}
+		return
+	}
+	// fmt.Fprintf(w, "...# TYPE %s counter...", args): resolve %s names.
+	if pkg, fn, ok := analysis.PkgFunc(pass.TypesInfo, call); ok && pkg == "fmt" && strings.HasPrefix(fn, "Fprint") && len(call.Args) >= 2 {
+		format, ok := analysis.ConstString(pass.TypesInfo, call.Args[1])
+		if !ok {
+			return
+		}
+		for _, m := range typeLineRE.FindAllStringSubmatchIndex(format, -1) {
+			name := format[m[2]:m[3]]
+			kind := format[m[4]:m[5]]
+			pos := call.Args[1].Pos()
+			if name == "%s" {
+				// The name is a format argument: count the verbs before
+				// this %s to find which one.
+				idx := verbIndex(format[:m[2]])
+				if idx < 0 || 2+idx >= len(call.Args) {
+					continue
+				}
+				resolved, ok := analysis.ConstString(pass.TypesInfo, call.Args[2+idx])
+				if !ok {
+					continue
+				}
+				name = resolved
+				pos = call.Args[2+idx].Pos()
+			}
+			if strings.HasPrefix(name, "resvc_") {
+				checkName(pass, pos, name, kind)
+			}
+		}
+	}
+}
+
+// verbIndex counts the format verbs in prefix, returning the argument index
+// of the verb that immediately follows it.
+func verbIndex(prefix string) int {
+	n := 0
+	for i := 0; i < len(prefix); i++ {
+		if prefix[i] != '%' {
+			continue
+		}
+		if i+1 < len(prefix) && prefix[i+1] == '%' {
+			i++
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// checkLiteral validates labeled sample fragments appearing directly in
+// string literals, e.g. "resvc_cluster_peer_up{peer=%q} %d\n".
+func checkLiteral(pass *analysis.Pass, lit *ast.BasicLit) {
+	val, ok := analysis.ConstString(pass.TypesInfo, lit)
+	if !ok {
+		return
+	}
+	for _, m := range sampleRE.FindAllStringSubmatch(val, -1) {
+		name, labels := m[1], m[2]
+		if !nameRE.MatchString(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum")) {
+			pass.Reportf(lit.Pos(), "metric name %q does not match resvc_[a-z0-9_]+", name)
+		}
+		checkLabels(pass, lit.Pos(), labels)
+	}
+}
+
+// checkLabelArg validates the label argument of WritePrometheus: either a
+// constant string or a fmt.Sprintf call whose format is constant.
+func checkLabelArg(pass *analysis.Pass, arg ast.Expr) {
+	if s, ok := analysis.ConstString(pass.TypesInfo, arg); ok {
+		checkLabels(pass, arg.Pos(), s)
+		return
+	}
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if pkg, fn, ok := analysis.PkgFunc(pass.TypesInfo, call); ok && pkg == "fmt" && fn == "Sprintf" && len(call.Args) >= 1 {
+			if s, ok := analysis.ConstString(pass.TypesInfo, call.Args[0]); ok {
+				checkLabels(pass, call.Args[0].Pos(), s)
+			}
+		}
+	}
+}
+
+func checkLabels(pass *analysis.Pass, pos token.Pos, fragment string) {
+	for _, m := range labelRE.FindAllStringSubmatch(fragment, -1) {
+		if !allowedLabels[m[1]] {
+			pass.Reportf(pos, "label %q is outside the restat vocabulary (benchmark, stage, class, peer, route, status, le)", m[1])
+		}
+	}
+}
+
+func checkName(pass *analysis.Pass, pos token.Pos, name, kind string) {
+	if !nameRE.MatchString(name) {
+		pass.Reportf(pos, "metric name %q does not match resvc_[a-z0-9_]+ (lowercase words, single underscores)", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge %q must not end in _total (reserved for counters)", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_ratio") {
+			pass.Reportf(pos, "histogram %q must carry a unit suffix (_seconds or _ratio)", name)
+		}
+	case "summary", "untyped":
+		pass.Reportf(pos, "metric %q declared %s: the resvc surface only emits counters, gauges and histograms", name, kind)
+	}
+}

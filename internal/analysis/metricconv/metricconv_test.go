@@ -1,0 +1,16 @@
+package metricconv_test
+
+import (
+	"testing"
+
+	"rendelim/internal/analysis/analysistest"
+	"rendelim/internal/analysis/metricconv"
+)
+
+// TestConventions covers all three emission idioms (helper closures,
+// # TYPE headers with inline and %s-resolved names, WritePrometheus),
+// the suffix and charset rules, the label vocabulary, directive
+// suppression, and out-of-scope non-resvc names.
+func TestConventions(t *testing.T) {
+	analysistest.Run(t, metricconv.Analyzer, analysistest.Dir("metrics"))
+}

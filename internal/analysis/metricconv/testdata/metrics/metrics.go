@@ -1,0 +1,74 @@
+// Package metrics is metricconv testdata covering the repo's three
+// emission idioms: helper closures, fmt.Fprintf # TYPE headers, and
+// Histogram.WritePrometheus calls.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+)
+
+type histogram struct{}
+
+func (histogram) WritePrometheus(w io.Writer, name, labels string) {}
+
+// helperClosures is the jobs/store idiom: local closures taking the
+// metric name first.
+func helperClosures(w io.Writer, frames uint64, depth float64) {
+	counter := func(name, help string, v uint64) {}
+	gaugeF := func(name, help string, v float64) {}
+
+	counter("resvc_sim_frames_total", "frames simulated", frames)
+	counter("resvc_sim_frames", "frames simulated", frames) // want `counter "resvc_sim_frames" must end in _total`
+	gaugeF("resvc_queue_depth", "queued jobs", depth)
+	gaugeF("resvc_queue_depth_total", "queued jobs", depth) // want `gauge "resvc_queue_depth_total" must not end in _total`
+	counter("resvc_simFrames_total", "bad charset", frames) // want `metric name "resvc_simFrames_total" does not match`
+
+	//lint:ignore metricconv legacy dashboard name kept until the dashboards migrate
+	counter("resvc_sim_Legacy_frames", "legacy", frames)
+}
+
+// typeHeaders is the server idiom: hand-written # TYPE lines, with the
+// name inline or resolved through a %s verb.
+func typeHeaders(w io.Writer, n uint64) {
+	fmt.Fprintf(w, "# TYPE resvc_jobs_inflight gauge\nresvc_jobs_inflight %d\n", n)
+	fmt.Fprintf(w, "# TYPE resvc_jobs_done counter\nresvc_jobs_done %d\n", n) // want `counter "resvc_jobs_done" must end in _total`
+
+	const good = "resvc_wal_fsync_seconds"
+	fmt.Fprintf(w, "# TYPE %s histogram\n", good)
+	const bad = "resvc_wal_fsync"
+	fmt.Fprintf(w, "# TYPE %s histogram\n", bad) // want `histogram "resvc_wal_fsync" must carry a unit suffix`
+
+	fmt.Fprintf(w, "# TYPE resvc_latency_quantiles summary\n") // want `declared summary`
+}
+
+// samples exercises labeled sample fragments in plain literals.
+func samples(w io.Writer, peer string, up int) {
+	fmt.Fprintf(w, "resvc_cluster_peer_up{peer=%q} %d\n", peer, up)
+	fmt.Fprintf(w, "resvc_cluster_peer_up{host=%q} %d\n", peer, up) // want `label "host" is outside the restat vocabulary`
+	fmt.Fprintf(w, "resvc_peer__up{peer=%q} %d\n", peer, up)        // want `metric name "resvc_peer__up" does not match`
+}
+
+// writePrometheus is the telemetry idiom: the histogram type writes its
+// own buckets; name and label set are checked at the call.
+func writePrometheus(w io.Writer, b string) {
+	var h histogram
+	h.WritePrometheus(w, "resvc_shade_latency_seconds", `stage="shade"`)
+	h.WritePrometheus(w, "resvc_shade_latency", `stage="shade"`) // want `histogram "resvc_shade_latency" must carry a unit suffix`
+	h.WritePrometheus(w, "resvc_sim_frame_eliminated_ratio", fmt.Sprintf("benchmark=%q", b))
+	h.WritePrometheus(w, "resvc_sim_frame_eliminated_ratio", fmt.Sprintf("bench=%q", b)) // want `label "bench" is outside the restat vocabulary`
+}
+
+// publish covers the expvar surface: charset only, kind unknown.
+func publish(v expvar.Var) {
+	expvar.Publish("resvc_cluster_ring", v)
+	expvar.Publish("resvc_clusterRing", v) // want `metric name "resvc_clusterRing" does not match`
+}
+
+// nonMetric literals and helpers with non-resvc names are out of scope.
+func nonMetric(w io.Writer) {
+	counter := func(name string, v int) {}
+	counter("internal_scratch_count", 1)
+	fmt.Fprintf(w, "plain {braces=%q} text\n", "x")
+}

@@ -1,0 +1,21 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"rendelim/internal/analysis/analysistest"
+	"rendelim/internal/analysis/nodeterm"
+)
+
+// TestDeterministicPackageRules covers the full rule set (wall clock,
+// global rand, map iteration) plus the allowed idioms in a package whose
+// name is in the deterministic set.
+func TestDeterministicPackageRules(t *testing.T) {
+	analysistest.Run(t, nodeterm.Analyzer, analysistest.Dir("gpusim"))
+}
+
+// TestEmissionRuleOutsideDeterministicPackages covers the repo-wide rule:
+// only map ranges that serialize directly are flagged elsewhere.
+func TestEmissionRuleOutsideDeterministicPackages(t *testing.T) {
+	analysistest.Run(t, nodeterm.Analyzer, analysistest.Dir("app"))
+}

@@ -1,0 +1,43 @@
+// Package app is nodeterm testdata for the repo-wide rule: outside the
+// deterministic packages only map ranges that emit bytes directly are
+// flagged.
+package app
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Negative: wall clock is fine outside the deterministic packages.
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Violation: emitting inside a map range serializes in random order.
+func dumpMetrics(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want `emitting inside a map range`
+	}
+}
+
+// Negative: the collect-sort-emit idiom keeps output byte-stable.
+func dumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+
+// Negative: pure accumulation over a map emits nothing.
+func total(m map[string]int) (sum int) {
+	for _, v := range m {
+		sum += v
+	}
+	return
+}

@@ -1,0 +1,106 @@
+// Package gpusim is nodeterm testdata: its package name places it in the
+// deterministic set, so the full rule set applies.
+package gpusim
+
+import (
+	cryptorand "crypto/rand"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Violations: wall clock and globally seeded randomness.
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time.Now in a deterministic package`
+	return time.Since(start) // want `time.Since in a deterministic package`
+}
+
+func timers() {
+	<-time.After(time.Millisecond) // want `time.After in a deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn uses the global seed`
+}
+
+func cryptoRand(buf []byte) {
+	cryptorand.Read(buf) // want `crypto/rand.Read in a deterministic package`
+}
+
+// Negative: explicitly seeded generators are reproducible and allowed.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Negative: duration arithmetic never reads the clock.
+func durations(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+// Violation: plain map iteration whose body is neither a commutative fold
+// nor a key collection.
+func mapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order is random in a deterministic package`
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// Negative: commutative fold — counters and bitmasks commute.
+func fold(m map[string]uint64) (total uint64, bits uint64, n int) {
+	for _, v := range m {
+		total += v
+		bits |= v
+		n++
+	}
+	return
+}
+
+// Negative: guarded fold stays commutative.
+func guardedFold(m map[string]int) (big int) {
+	for _, v := range m {
+		if v > 100 {
+			big++
+		}
+	}
+	return
+}
+
+// Negative: rebuilding another map is order-independent.
+func rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Negative: the collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Violation: argmax over a map is order-dependent on ties.
+func argmax(m map[string]int) string {
+	best, bestV := "", -1
+	for k, v := range m { // want `map iteration order is random in a deterministic package`
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// Negative: a justified directive suppresses a deliberate exception.
+func suppressed() time.Time {
+	//lint:ignore nodeterm testdata exercises the suppression path
+	return time.Now()
+}

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -241,23 +242,45 @@ func (c *Cluster) peerAlive(addr string) bool {
 	return ok && ps.up.Load()
 }
 
-// Ownership describes the ring for /debug/vars: per-member circle fraction
-// plus current liveness.
-func (c *Cluster) Ownership() map[string]any {
+// MemberOwnership describes one ring member in the /debug/vars dump: its
+// circle fraction plus current liveness.
+type MemberOwnership struct {
+	Member   string  `json:"member"`
+	Fraction float64 `json:"fraction"`
+	Up       bool    `json:"up"`
+	Self     bool    `json:"self"`
+}
+
+// OwnershipView describes the ring for /debug/vars. Members are sorted by
+// address so the serialized view is byte-stable by construction: the
+// previous map[string]any shape had no schema and left ordering to
+// whatever the encoder chose, so nothing pinned stability — any consumer
+// ranging over it (a non-JSON renderer, a test) inherited Go's randomized
+// map iteration.
+type OwnershipView struct {
+	Self     string            `json:"self"`
+	Replicas int               `json:"replicas"`
+	Members  []MemberOwnership `json:"members"`
+}
+
+// Ownership returns the ring dump for /debug/vars.
+func (c *Cluster) Ownership() OwnershipView {
 	frac := c.ring.ownership()
-	out := make(map[string]any, len(frac)+1)
-	members := make(map[string]any, len(frac))
-	for m, f := range frac {
-		members[m] = map[string]any{
-			"fraction": f,
-			"up":       c.peerAlive(m),
-			"self":     m == c.self,
-		}
+	v := OwnershipView{
+		Self:     c.self,
+		Replicas: c.ring.replicas,
+		Members:  make([]MemberOwnership, 0, len(frac)),
 	}
-	out["self"] = c.self
-	out["replicas"] = c.ring.replicas
-	out["members"] = members
-	return out
+	for m, f := range frac {
+		v.Members = append(v.Members, MemberOwnership{
+			Member:   m,
+			Fraction: f,
+			Up:       c.peerAlive(m),
+			Self:     m == c.self,
+		})
+	}
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].Member < v.Members[j].Member })
+	return v
 }
 
 // Start launches the health-check loop. Every peer is probed once

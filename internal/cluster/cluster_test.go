@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -269,19 +272,53 @@ func TestCachedResultCounters(t *testing.T) {
 	}
 }
 
-// Ownership exposes every member with self marked.
+// Ownership exposes every member, sorted by address, with self marked.
 func TestOwnershipView(t *testing.T) {
-	c, err := New(Options{Self: "127.0.0.1:1", Peers: []string{"127.0.0.1:2", "127.0.0.1:3"}})
+	c, err := New(Options{Self: "127.0.0.1:1", Peers: []string{"127.0.0.1:3", "127.0.0.1:2"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	v := c.Ownership()
-	members, ok := v["members"].(map[string]any)
-	if !ok || len(members) != 3 {
-		t.Fatalf("members = %#v, want 3 entries", v["members"])
+	if len(v.Members) != 3 {
+		t.Fatalf("members = %#v, want 3 entries", v.Members)
 	}
-	selfEntry, ok := members["127.0.0.1:1"].(map[string]any)
-	if !ok || selfEntry["self"] != true {
-		t.Fatalf("self entry = %#v", members["127.0.0.1:1"])
+	if !sort.SliceIsSorted(v.Members, func(i, j int) bool { return v.Members[i].Member < v.Members[j].Member }) {
+		t.Errorf("members not sorted by address: %#v", v.Members)
+	}
+	if v.Self != "127.0.0.1:1" || v.Replicas != 128 {
+		t.Errorf("self=%q replicas=%d, want 127.0.0.1:1 / 128", v.Self, v.Replicas)
+	}
+	var total float64
+	for _, m := range v.Members {
+		if m.Self != (m.Member == "127.0.0.1:1") {
+			t.Errorf("member %s: self=%v", m.Member, m.Self)
+		}
+		total += m.Fraction
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("fractions sum to %v, want 1", total)
+	}
+}
+
+// TestOwnershipViewByteStable guards the /debug/vars dump against map-order
+// nondeterminism regressing: the serialized view must be byte-identical
+// across repeated renders (the old map[string]any view was not).
+func TestOwnershipViewByteStable(t *testing.T) {
+	c, err := New(Options{Self: "127.0.0.1:1", Peers: []string{"127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := json.Marshal(c.Ownership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		got, err := json.Marshal(c.Ownership())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, first) {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, got, first)
+		}
 	}
 }

@@ -84,6 +84,8 @@ type tileResult struct {
 }
 
 // reset prepares the entry for a new frame, keeping allocated capacity.
+//
+//re:hotpath
 func (r *tileResult) reset() {
 	r.skipped = false
 	r.tw = timing.TileWork{}
@@ -121,13 +123,19 @@ type workerSampler struct {
 	tex [api.MaxTexUnits]*texture.Texture
 }
 
-// Sample implements shader.Sampler.
+// Sample implements shader.Sampler. The address-recording callback is a
+// capture-free closure over the receiver, so it does not allocate per call;
+// the access log append is arena-backed (capacity survives reset).
+//
+//re:hotpath
 func (ws *workerSampler) Sample(unit int, u, v float32) geom.Vec4 {
 	t := ws.tex[unit]
 	if t == nil {
 		return geom.Vec4{}
 	}
+	//lint:ignore hotpathalloc the closure captures only ws and unit, both live across the call already; escape analysis keeps it on the stack (alloc tests prove 0/tile)
 	return t.Sample(u, v, func(addr uint64) {
+		//re:arena
 		ws.res.accesses = append(ws.res.accesses, tileAccess{addr: addr, size: 4, unit: int8(unit)})
 	})
 }
@@ -151,6 +159,8 @@ func newRasterWorker(s *Simulator, id int) *rasterWorker {
 // decideTile is the serial pre-raster stage: the RE signature check for one
 // tile, charging Signature Unit costs in tile order exactly like the
 // hardware's raster scheduler.
+//
+//re:hotpath
 func (s *Simulator) decideTile(tile int, res *tileResult) {
 	res.reset()
 	if s.cfg.Technique == RE && !s.re.Disabled() {
@@ -168,6 +178,8 @@ func (s *Simulator) decideTile(tile int, res *tileResult) {
 // renderTile is the parallel stage: the whole functional Raster Pipeline for
 // one tile, against per-worker and per-tile state only. tr is the trace
 // track to emit spans on (the worker's own track under parallel execution).
+//
+//re:hotpath
 func (w *rasterWorker) renderTile(tile int, res *tileResult, tr *obs.Thread) {
 	s := w.s
 	rect := s.fbuf.TileRect(tile)
@@ -180,6 +192,7 @@ func (w *rasterWorker) renderTile(tile int, res *tileResult, tr *obs.Thread) {
 	// Tile Scheduler: record the pointer-list and primitive fetches for the
 	// commit replay through the Tile Cache.
 	for i, e := range bin {
+		//re:arena
 		res.accesses = append(res.accesses,
 			tileAccess{addr: s.binner.PtrAddr(tile) + uint64(i)*tiling.PtrEntryBytes, size: tiling.PtrEntryBytes, unit: texUnitPB},
 			tileAccess{addr: e.Addr, size: int32(e.Bytes), unit: texUnitPB})
@@ -215,61 +228,65 @@ func (w *rasterWorker) renderTile(tile int, res *tileResult, tr *obs.Thread) {
 		depthWrite := draw.pipe.DepthWrite
 		blend := draw.pipe.Blend
 
-		tri.st.RasterizeInto(rect, &w.frag, func(qx, qy int, mask uint8) {
-			res.tw.Quads++
-			st.quadsTested++
-			st.depthBufAcc += 2 // test + conditional update
-		}, func(f *rast.Fragment) {
-			idx := fb.Idx(f.X-rect.X0, f.Y-rect.Y0)
-			if depthTest {
-				if f.Z >= res.tb.Depth[idx] {
-					st.fragsEarlyZKill++
-					return
+		tri.st.RasterizeInto(rect, &w.frag,
+			//lint:ignore hotpathalloc the quad closure is consumed inside the call and never stored; escape analysis stack-allocates it (alloc tests prove 0/tile)
+			func(qx, qy int, mask uint8) {
+				res.tw.Quads++
+				st.quadsTested++
+				st.depthBufAcc += 2 // test + conditional update
+			},
+			//lint:ignore hotpathalloc the fragment closure is consumed inside the call and never stored; escape analysis stack-allocates it (alloc tests prove 0/tile)
+			func(f *rast.Fragment) {
+				idx := fb.Idx(f.X-rect.X0, f.Y-rect.Y0)
+				if depthTest {
+					if f.Z >= res.tb.Depth[idx] {
+						st.fragsEarlyZKill++
+						return
+					}
+					if depthWrite {
+						res.tb.Depth[idx] = f.Z
+					}
 				}
-				if depthWrite {
-					res.tb.Depth[idx] = f.Z
-				}
-			}
-			st.fragsRasterized++
-			tileFrags++
+				st.fragsRasterized++
+				tileFrags++
 
-			var color geom.Vec4
-			reused := false
-			if s.cfg.Technique == Memo {
-				mask := s.fsMasks[draw.pipe.FS]
-				h := w.hasher.hash(uint8(draw.pipe.FS), [4]uint8{
-					uint8(draw.pipe.Tex[0]), uint8(draw.pipe.Tex[1]),
-					uint8(draw.pipe.Tex[2]), uint8(draw.pipe.Tex[3]),
-				}, mask.in, mask.consts, draw.uniforms[:], &f.Var)
-				st.memoLookups++
-				if c, ok := s.memo.lookup(memoCur, tile, h, crossFrame); ok {
-					color = c
-					reused = true
-					st.memoHits++
-					st.fragsMemoReused++
-				}
-				if !reused {
+				var color geom.Vec4
+				reused := false
+				if s.cfg.Technique == Memo {
+					mask := s.fsMasks[draw.pipe.FS]
+					h := w.hasher.hash(uint8(draw.pipe.FS), [4]uint8{
+						uint8(draw.pipe.Tex[0]), uint8(draw.pipe.Tex[1]),
+						uint8(draw.pipe.Tex[2]), uint8(draw.pipe.Tex[3]),
+					}, mask.in, mask.consts, draw.uniforms[:], &f.Var)
+					st.memoLookups++
+					if c, ok := s.memo.lookup(memoCur, tile, h, crossFrame); ok {
+						color = c
+						reused = true
+						st.memoHits++
+						st.fragsMemoReused++
+					}
+					if !reused {
+						color = w.shadeFragment(fsProg, f)
+						st.fragsShaded++
+						s.memo.insert(memoCur, h, color)
+					}
+				} else {
 					color = w.shadeFragment(fsProg, f)
 					st.fragsShaded++
-					s.memo.insert(memoCur, h, color)
 				}
-			} else {
-				color = w.shadeFragment(fsProg, f)
-				st.fragsShaded++
-			}
 
-			packed := texture.PackColor(color)
-			if blend == api.BlendAlpha {
-				dst := texture.UnpackColor(res.tb.Color[idx])
-				a := color.W
-				out := color.Scale(a).Add(dst.Scale(1 - a))
-				out.W = a + dst.W*(1-a)
-				packed = texture.PackColor(out)
-				st.colorBufAcc++ // destination read
-			}
-			res.tb.Color[idx] = packed
-			st.colorBufAcc++
-		})
+				packed := texture.PackColor(color)
+				if blend == api.BlendAlpha {
+					dst := texture.UnpackColor(res.tb.Color[idx])
+					a := color.W
+					out := color.Scale(a).Add(dst.Scale(1 - a))
+					out.W = a + dst.W*(1-a)
+					packed = texture.PackColor(out)
+					st.colorBufAcc++ // destination read
+				}
+				res.tb.Color[idx] = packed
+				st.colorBufAcc++
+			})
 	}
 	if s.cfg.Technique == Memo {
 		s.memo.commitTile(tile, memoCur)
@@ -306,6 +323,9 @@ func (w *rasterWorker) renderTile(tile int, res *tileResult, tr *obs.Thread) {
 	}
 }
 
+// shadeFragment runs the fragment shader VM on one rasterized fragment.
+//
+//re:hotpath
 func (w *rasterWorker) shadeFragment(p *shader.Program, f *rast.Fragment) geom.Vec4 {
 	for i := 0; i < rast.MaxVaryings; i++ {
 		w.fsExec.In[i+1] = f.Var[i]
@@ -318,6 +338,8 @@ func (w *rasterWorker) shadeFragment(p *shader.Program, f *rast.Fragment) geom.V
 // memory accesses through the shared cache hierarchy (in tile order, i.e.
 // the serial access order), performs the order-sensitive TE and Frame Buffer
 // updates, and folds the tile's shard into the frame's statistics.
+//
+//re:hotpath
 func (s *Simulator) commitTile(tile int, res *tileResult, st *Stats) {
 	st.TilesTotal++
 

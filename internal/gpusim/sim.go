@@ -252,6 +252,8 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 // FrameBufferCRC signs the displayed (front) buffer; see Result.FBCRC. The
 // serialization scratch lives in the frame arena so per-frame CRC checks
 // (determinism soaks, chaos tests) do not allocate.
+//
+//re:hotpath
 func (s *Simulator) FrameBufferCRC() uint32 {
 	front := s.fbuf.Front()
 	if cap(s.arena.crcBuf) < len(front)*4 {
@@ -268,6 +270,8 @@ func (s *Simulator) FrameBufferCRC() uint32 {
 }
 
 // RunFrame executes one frame and returns its statistics.
+//
+//re:hotpath
 func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 	s.arena.beginFrame()
 	st := &s.arena.stats
@@ -306,7 +310,11 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 		case api.UploadProgram:
 			s.state.Apply(cmd)
 			for int(c.ID) >= len(s.programs) {
+				// Both tables persist across frames and grow once to the
+				// trace's program-ID high-water mark.
+				//re:arena
 				s.programs = append(s.programs, nil)
+				//re:arena
 				s.fsMasks = append(s.fsMasks, progMask{})
 			}
 			s.programs[c.ID] = c.Program
@@ -315,6 +323,8 @@ func (s *Simulator) RunFrame(frame *api.Frame) Stats {
 		case api.UploadTexture:
 			s.state.Apply(cmd)
 			for int(c.ID) >= len(s.textures) {
+				// Persists across frames; grows once per new texture ID.
+				//re:arena
 				s.textures = append(s.textures, nil)
 			}
 			t := c.Spec.Build(int(c.ID))
@@ -443,6 +453,9 @@ func (s *Simulator) accessExtra(c *cache.Cache, addr uint64, size int, write boo
 	return 0
 }
 
+// processDraw runs the geometry pipeline for one draw command.
+//
+//re:hotpath
 func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork) {
 	if d.Validate() != nil || d.TriangleCount() == 0 {
 		return
@@ -451,6 +464,7 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 	// rec.uniforms[:] is later handed to the vertex-shader VM, and a slice
 	// of a local's array would force a per-draw heap escape.
 	drawIdx := len(s.arena.draws)
+	//re:arena
 	s.arena.draws = append(s.arena.draws, drawRec{})
 	rec := &s.arena.draws[drawIdx]
 	rec.pipe = s.state.Pipeline
@@ -535,6 +549,7 @@ func (s *Simulator) processDraw(d api.Draw, st *Stats, geo *timing.GeometryWork)
 			if len(tiles) == 0 {
 				continue
 			}
+			//re:arena
 			s.arena.tris = append(s.arena.tris, triRec{st: stri, draw: drawIdx})
 			st.Binned++
 			geo.BinTilePairs += uint64(len(tiles))

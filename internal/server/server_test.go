@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"rendelim/internal/cluster"
 	"rendelim/internal/fault"
 	"rendelim/internal/gpusim"
 	"rendelim/internal/jobs"
@@ -309,7 +310,12 @@ func TestStatusForError(t *testing.T) {
 		{"overloaded", jobs.ErrOverloaded, http.StatusTooManyRequests},
 		{"breaker open", &jobs.BreakerOpenError{Benchmark: "ccs", RetryAfter: time.Second}, http.StatusServiceUnavailable},
 		{"pool closed", jobs.ErrClosed, http.StatusServiceUnavailable},
+		{"peer unreachable", fmt.Errorf("forward to 10.0.0.2:80: %w: dial refused", cluster.ErrPeerUnavailable), http.StatusServiceUnavailable},
+		{"peer garbage", fmt.Errorf("forward to 10.0.0.2:80: %w: status 500", cluster.ErrPeerBadResponse), http.StatusBadGateway},
+		{"double wrap", fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", rerr.ErrBadTrace)), http.StatusBadRequest},
+		{"flattened chain", fmt.Errorf("outer: %v", rerr.ErrBadTrace), http.StatusInternalServerError},
 		{"unclassified", errors.New("mystery"), http.StatusInternalServerError},
+		{"nil-adjacent", io.EOF, http.StatusInternalServerError},
 	}
 	for _, tc := range cases {
 		if got := statusForError(tc.err); got != tc.want {
